@@ -1,0 +1,49 @@
+//! Well-known attribute names from the paper (§2.3.2) plus the network
+//! metrics IQ-RUDP exports to applications (§2.1).
+
+/// Degree of a frequency adaptation: the factor by which the application
+/// reduced its message frequency (`f64` in `(0, 1)`, fraction removed).
+pub const ADAPT_FREQ: &str = "ADAPT_FREQ";
+
+/// Degree of a reliability adaptation: the fraction of packets the
+/// application is now leaving unmarked (`f64` in `[0, 1]`).
+pub const ADAPT_MARK: &str = "ADAPT_MARK";
+
+/// Degree of a resolution adaptation: the fraction by which per-message
+/// size was reduced (`rate_chg`, `f64` in `(0, 1)`).
+pub const ADAPT_PKTSIZE: &str = "ADAPT_PKTSIZE";
+
+/// Whether/when the application will adapt: `Int` number of messages
+/// until the pending adaptation takes effect (0 = now, -1 = will not
+/// adapt).
+pub const ADAPT_WHEN: &str = "ADAPT_WHEN";
+
+/// Error ratio the application observed when it *decided* to adapt
+/// (`f64`); lets IQ-RUDP correct for network drift during a delayed
+/// adaptation (§3.5 scheme 3, Eq. 1).
+pub const ADAPT_COND_ERATIO: &str = "ADAPT_COND_ERATIO";
+
+/// Average data rate (KB/s) the application assumed when adapting.
+pub const ADAPT_COND_RATE: &str = "ADAPT_COND_RATE";
+
+/// Exported metric: smoothed loss (error) ratio over the last measuring
+/// period (`f64` in `[0, 1]`).
+pub const NET_ERROR_RATIO: &str = "NET_ERROR_RATIO";
+
+/// Exported metric: smoothed round-trip time in milliseconds.
+pub const NET_RTT_MS: &str = "NET_RTT_MS";
+
+/// Exported metric: current congestion window, in segments.
+pub const NET_CWND: &str = "NET_CWND";
+
+/// Exported metric: sender goodput estimate, KB/s.
+pub const NET_RATE_KBPS: &str = "NET_RATE_KBPS";
+
+/// Receiver loss tolerance for adaptive reliability (`f64` in `[0, 1]`).
+pub const RELIABILITY_TOLERANCE: &str = "RELIABILITY_TOLERANCE";
+
+/// Callback registration: upper error-ratio threshold (`f64`).
+pub const CB_ERATIO_UPPER: &str = "CB_ERATIO_UPPER";
+
+/// Callback registration: lower error-ratio threshold (`f64`).
+pub const CB_ERATIO_LOWER: &str = "CB_ERATIO_LOWER";

@@ -1,0 +1,242 @@
+//! The attribute service: a small shared registry through which the
+//! application and the transport exchange quality information without a
+//! direct call dependency (the paper's "distributed service" for
+//! registration, update, and query of ECho attributes).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::list::AttrName;
+use crate::value::AttrValue;
+
+/// A monotonically increasing version per attribute, so readers can tell
+/// whether a value changed since they last looked.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Versioned {
+    /// The current value.
+    pub value: AttrValue,
+    /// Bumped on every update.
+    pub version: u64,
+}
+
+/// Callback invoked when a watched attribute changes.
+pub type WatchFn = Box<dyn Fn(&AttrValue) + Send + Sync>;
+
+/// Handle for removing a watcher.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WatchId(u64);
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<AttrName, Versioned>,
+    watchers: HashMap<AttrName, Vec<(WatchId, WatchFn)>>,
+    next_watch_id: u64,
+}
+
+/// Shared attribute registry. Cheap to clone; clones view the same state.
+#[derive(Clone, Default)]
+pub struct AttrService {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl AttrService {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers or updates `name`, bumping its version and invoking any
+    /// watchers registered for it. Returns the new version.
+    pub fn update(&self, name: impl Into<AttrName>, value: impl Into<AttrValue>) -> u64 {
+        let name = name.into();
+        let value = value.into();
+        let mut g = self.inner.write();
+        let entry = g
+            .entries
+            .entry(name.clone())
+            .and_modify(|v| v.version += 1)
+            .or_insert(Versioned {
+                value: AttrValue::Int(0),
+                version: 1,
+            });
+        entry.value = value.clone();
+        let version = entry.version;
+        // Invoke watchers outside the entry borrow but under the lock,
+        // preserving update ordering per attribute. Watchers must not
+        // call back into the service (they would deadlock); they are
+        // notification hooks, not transaction participants.
+        if let Some(ws) = g.watchers.get(&name) {
+            for (_, f) in ws {
+                f(&value);
+            }
+        }
+        version
+    }
+
+    /// Registers a callback invoked on every update of `name` — the
+    /// paper's attribute-based callback registration (§2.2: "the
+    /// application registers for call-backs from IQ-RUDP using
+    /// attributes").
+    pub fn watch(&self, name: impl Into<AttrName>, f: WatchFn) -> WatchId {
+        let mut g = self.inner.write();
+        g.next_watch_id += 1;
+        let id = WatchId(g.next_watch_id);
+        g.watchers.entry(name.into()).or_default().push((id, f));
+        id
+    }
+
+    /// Removes a watcher; returns whether it existed.
+    pub fn unwatch(&self, id: WatchId) -> bool {
+        let mut g = self.inner.write();
+        for ws in g.watchers.values_mut() {
+            if let Some(idx) = ws.iter().position(|(wid, _)| *wid == id) {
+                drop(ws.remove(idx));
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Queries the current value of `name`.
+    pub fn query(&self, name: &str) -> Option<AttrValue> {
+        self.inner.read().entries.get(name).map(|v| v.value.clone())
+    }
+
+    /// Queries value + version together.
+    pub fn query_versioned(&self, name: &str) -> Option<Versioned> {
+        self.inner.read().entries.get(name).cloned()
+    }
+
+    /// Float view of `name`.
+    pub fn query_float(&self, name: &str) -> Option<f64> {
+        self.query(name).and_then(|v| v.as_float())
+    }
+
+    /// Returns the value only if its version is newer than `seen`,
+    /// supporting cheap change polling.
+    pub fn changed_since(&self, name: &str, seen: u64) -> Option<Versioned> {
+        self.inner
+            .read()
+            .entries
+            .get(name)
+            .filter(|v| v.version > seen)
+            .cloned()
+    }
+
+    /// Removes `name`; returns whether it existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.write().entries.remove(name).is_some()
+    }
+
+    /// Number of registered attributes.
+    pub fn len(&self) -> usize {
+        self.inner.read().entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names;
+
+    #[test]
+    fn update_and_query() {
+        let s = AttrService::new();
+        assert!(s.query(names::NET_ERROR_RATIO).is_none());
+        s.update(names::NET_ERROR_RATIO, 0.12);
+        assert_eq!(s.query_float(names::NET_ERROR_RATIO), Some(0.12));
+    }
+
+    #[test]
+    fn versions_bump_on_update() {
+        let s = AttrService::new();
+        assert_eq!(s.update("x", 1i64), 1);
+        assert_eq!(s.update("x", 2i64), 2);
+        let v = s.query_versioned("x").unwrap();
+        assert_eq!(v.version, 2);
+        assert_eq!(v.value, AttrValue::Int(2));
+    }
+
+    #[test]
+    fn changed_since_filters() {
+        let s = AttrService::new();
+        s.update("x", 1i64);
+        assert!(s.changed_since("x", 0).is_some());
+        assert!(s.changed_since("x", 1).is_none());
+        s.update("x", 2i64);
+        assert!(s.changed_since("x", 1).is_some());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = AttrService::new();
+        let b = a.clone();
+        a.update("k", 5i64);
+        assert_eq!(b.query_float("k"), Some(5.0));
+        assert!(b.remove("k"));
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn watchers_fire_on_update() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let s = AttrService::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let id = s.watch(names::NET_ERROR_RATIO, Box::new(move |v| {
+            assert!(v.as_float().is_some());
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        s.update(names::NET_ERROR_RATIO, 0.1);
+        s.update(names::NET_ERROR_RATIO, 0.2);
+        s.update(names::NET_RTT_MS, 30.0); // different attribute: no hit
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+        assert!(s.unwatch(id));
+        assert!(!s.unwatch(id));
+        s.update(names::NET_ERROR_RATIO, 0.3);
+        assert_eq!(hits.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn multiple_watchers_on_one_attribute() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let s = AttrService::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        for _ in 0..3 {
+            let h = hits.clone();
+            s.watch("x", Box::new(move |_| {
+                h.fetch_add(1, Ordering::SeqCst);
+            }));
+        }
+        s.update("x", 1i64);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_writes() {
+        let s = AttrService::new();
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = s.clone();
+                scope.spawn(move || {
+                    for i in 0..100 {
+                        s.update(format!("k{t}"), i as i64);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.len(), 4);
+        for t in 0..4 {
+            assert_eq!(s.query_float(&format!("k{t}")), Some(99.0));
+        }
+    }
+}

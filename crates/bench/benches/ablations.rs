@@ -1,0 +1,42 @@
+//! Criterion benches for the ablation studies (design-choice sweeps
+//! beyond the paper's own tables; see `iq_experiments::ablations`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iq_experiments::ablations::{
+    ablation_measure_period, ablation_policies, ablation_queue_discipline, ablation_tolerance,
+    render_measure_period, render_policies, render_queue_discipline, render_tolerance,
+};
+use iq_experiments::tables::Size;
+
+const BENCH_SIZE: Size = Size(0.08);
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+
+    println!("{}", render_measure_period(&ablation_measure_period(BENCH_SIZE)));
+    g.bench_function("measure_period_sweep", |b| {
+        b.iter(|| black_box(ablation_measure_period(BENCH_SIZE)))
+    });
+
+    println!("{}", render_policies(&ablation_policies(BENCH_SIZE)));
+    g.bench_function("policy_comparison", |b| {
+        b.iter(|| black_box(ablation_policies(BENCH_SIZE)))
+    });
+
+    println!("{}", render_tolerance(&ablation_tolerance(BENCH_SIZE)));
+    g.bench_function("tolerance_sweep", |b| {
+        b.iter(|| black_box(ablation_tolerance(BENCH_SIZE)))
+    });
+
+    println!("{}", render_queue_discipline(&ablation_queue_discipline(BENCH_SIZE)));
+    g.bench_function("queue_discipline", |b| {
+        b.iter(|| black_box(ablation_queue_discipline(BENCH_SIZE)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

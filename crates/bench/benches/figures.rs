@@ -1,0 +1,40 @@
+//! One Criterion bench per paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iq_experiments::figures::{figure1, figure4_from_rows, figures_2_3, render_figure4};
+use iq_experiments::tables::{run_table6, Size};
+
+const BENCH_SIZE: Size = Size(0.08);
+
+fn bench_figures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+
+    g.bench_function("figure1_membership_dynamics", |b| {
+        b.iter(|| black_box(figure1()))
+    });
+
+    let (iq, rudp) = figures_2_3(BENCH_SIZE);
+    println!(
+        "Figure 2/3 jitter series: IQ-RUDP mean {:.2} ms ({} samples), RUDP mean {:.2} ms ({} samples)",
+        iq.mean(),
+        iq.len(),
+        rudp.mean(),
+        rudp.len()
+    );
+    g.bench_function("figures_2_3_delay_jitter", |b| {
+        b.iter(|| black_box(figures_2_3(BENCH_SIZE)))
+    });
+
+    let rows = run_table6(BENCH_SIZE);
+    println!("{}", render_figure4(&figure4_from_rows(&rows)));
+    g.bench_function("figure4_improvement_vs_congestion", |b| {
+        b.iter(|| black_box(figure4_from_rows(&rows)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

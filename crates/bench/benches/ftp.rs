@@ -1,0 +1,48 @@
+//! Bench for the IQ-FTP extension: selective vs fully reliable transfer
+//! of the same file over the same congested link.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iq_core::CoordinationMode;
+use iq_ftp::{completeness_at, FileSpec, FtpConfig, FtpReceiverAgent, FtpSenderAgent};
+use iq_netsim::{time, Addr, FlowId, LinkSpec, Simulator};
+
+fn transfer(selective: bool) -> (u64, u64) {
+    let mut sim = Simulator::new(9);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    sim.add_duplex_link(a, b, LinkSpec::new(1.5e6, time::millis(10), 16_000));
+    let file = FileSpec::with_center_focus(400, 1400);
+    let mut cfg = FtpConfig::new(1);
+    if !selective {
+        cfg.rudp.loss_tolerance = 0.0;
+        cfg.max_cutoff = 0.0;
+        cfg.mode = CoordinationMode::Uncoordinated;
+    }
+    let rudp = cfg.rudp.clone();
+    let tx = sim.add_agent(
+        a,
+        1,
+        Box::new(FtpSenderAgent::new(cfg, &file, Addr::new(b, 1), FlowId(1))),
+    );
+    let rx = sim.add_agent(b, 1, Box::new(FtpReceiverAgent::new(1, rudp, FlowId(1))));
+    sim.run_until(time::secs(120.0));
+    let sender = sim.agent::<FtpSenderAgent>(tx).unwrap();
+    let receiver = sim.agent::<FtpReceiverAgent>(rx).unwrap();
+    completeness_at(sender, receiver, 0.0)
+}
+
+fn bench_ftp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ftp");
+    g.sample_size(10);
+    let (sel, total) = transfer(true);
+    let (rel, _) = transfer(false);
+    println!("ftp: selective delivered {sel}/{total} blocks, reliable {rel}/{total}");
+    g.bench_function("selective_transfer", |b| b.iter(|| black_box(transfer(true))));
+    g.bench_function("reliable_transfer", |b| b.iter(|| black_box(transfer(false))));
+    g.finish();
+}
+
+criterion_group!(benches, bench_ftp);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Microbenchmarks of the hot paths under the experiments: the event
+//! loop, the protocol state machine, attribute operations, and the
+//! trace generator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iq_attrs::{names, AttrList, AttrService};
+use iq_netsim::{time, Addr, FlowId, LinkSpec, Simulator};
+use iq_rudp::{BulkSenderAgent, RudpConfig, RudpSinkAgent, SenderConn};
+use iq_trace::{MembershipConfig, MembershipTrace};
+
+/// A full small transfer through the simulator: event-loop + protocol.
+fn transfer(msgs: u64) -> u64 {
+    let mut sim = Simulator::new(1);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    sim.add_duplex_link(a, b, LinkSpec::new(100e6, time::millis(2), 256_000));
+    let cfg = RudpConfig::default();
+    sim.add_agent(
+        a,
+        1,
+        Box::new(BulkSenderAgent::new(
+            SenderConn::new(1, cfg.clone()),
+            Addr::new(b, 1),
+            FlowId(1),
+            msgs,
+            1400,
+        )),
+    );
+    let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(1, cfg, FlowId(1))));
+    sim.run_until(time::secs(30.0));
+    sim.agent::<RudpSinkAgent>(rx).unwrap().metrics.messages()
+}
+
+fn bench_micro(c: &mut Criterion) {
+    let mut g = c.benchmark_group("micro");
+
+    g.bench_function("sim_transfer_1000_msgs", |b| {
+        b.iter(|| {
+            let got = transfer(1000);
+            assert_eq!(got, 1000);
+            black_box(got)
+        })
+    });
+
+    g.bench_function("attr_list_set_get", |b| {
+        b.iter(|| {
+            let mut l = AttrList::new();
+            l.set(names::ADAPT_PKTSIZE, 0.25);
+            l.set(names::ADAPT_WHEN, 20i64);
+            l.set(names::ADAPT_COND_ERATIO, 0.3);
+            black_box(l.get_float(names::ADAPT_COND_ERATIO))
+        })
+    });
+
+    let service = AttrService::new();
+    g.bench_function("attr_service_update_query", |b| {
+        b.iter(|| {
+            service.update(names::NET_ERROR_RATIO, 0.12);
+            black_box(service.query_float(names::NET_ERROR_RATIO))
+        })
+    });
+
+    g.bench_function("membership_trace_2000", |b| {
+        b.iter(|| {
+            black_box(MembershipTrace::generate(&MembershipConfig::default()))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_micro);
+criterion_main!(benches);

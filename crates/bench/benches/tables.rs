@@ -1,0 +1,42 @@
+//! One Criterion bench per paper table. Each iteration regenerates the
+//! table's rows at a reduced-but-faithful scale; the printed rows (once
+//! per bench, outside the timing loop) are the reproduction artifact.
+//!
+//! Run the full-scale harness with
+//! `cargo run --release --example paper_tables` instead when you want
+//! paper-sized numbers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use iq_experiments::tables::*;
+
+const BENCH_SIZE: Size = Size(0.08);
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tables");
+    g.sample_size(10);
+
+    macro_rules! table {
+        ($name:literal, $run:ident, $render:ident) => {
+            let rows = $run(BENCH_SIZE);
+            println!("{}", $render(&rows));
+            g.bench_function($name, |b| {
+                b.iter(|| black_box($run(BENCH_SIZE)))
+            });
+        };
+    }
+
+    table!("table1_basic_comparison", run_table1, render_table1);
+    table!("table2_fairness", run_table2, render_table2);
+    table!("table3_conflict_changing_app", run_table3, render_table3);
+    table!("table4_conflict_changing_network", run_table4, render_table4);
+    table!("table5_overreaction_changing_app", run_table5, render_table5);
+    table!("table6_overreaction_changing_network", run_table6, render_table6);
+    table!("table7_granularity_changing_app", run_table7, render_table7);
+    table!("table8_granularity_changing_network", run_table8, render_table8);
+    g.finish();
+}
+
+criterion_group!(benches, bench_tables);
+criterion_main!(benches);

@@ -1,0 +1,538 @@
+//! The adaptive application source: IQ-ECho's sending side.
+//!
+//! Emits frames from a schedule (an MBone-derived trace or a constant
+//! size), applies the configured adaptation policy in response to the
+//! transport's threshold callbacks, and sends through the coordinator's
+//! `CMwritev_attr`-style API so the transport learns what the
+//! application changed.
+
+use iq_attrs::AttrList;
+use iq_core::{CoordinationMode, Coordinator};
+use iq_netsim::{time, Addr, Agent, Ctx, FlowId, Packet, Time};
+use iq_rudp::{
+    ConnEvent, NetCond, RudpConfig, SenderConn, SenderDriver, DEFAULT_MSS, RUDP_TIMER_TOKEN,
+};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use crate::adapters::{FrequencyAdapter, MarkingAdapter, ResolutionAdapter};
+use crate::deferred::DeferredResolution;
+
+/// Timer token for frame emission (fixed-rate sources).
+pub const FRAME_TIMER_TOKEN: u64 = 0x4652_414d; // "FRAM"
+
+/// Which application adaptation policy the source runs.
+pub enum Policy {
+    /// No application adaptation (transport-only rows).
+    None,
+    /// Reliability adaptation (§3.3).
+    Marking(MarkingAdapter),
+    /// Resolution adaptation (§3.4).
+    Resolution(ResolutionAdapter),
+    /// Resolution adaptation with frame-granularity deferral (§3.5).
+    Deferred(DeferredResolution),
+    /// Frequency adaptation.
+    Frequency(FrequencyAdapter),
+}
+
+impl Policy {
+    fn frame_scale(&self) -> f64 {
+        match self {
+            Policy::Resolution(r) => r.scale,
+            Policy::Deferred(d) => d.inner.scale,
+            _ => 1.0,
+        }
+    }
+
+    fn interval_scale(&self) -> f64 {
+        match self {
+            Policy::Frequency(f) => f.interval_scale,
+            _ => 1.0,
+        }
+    }
+}
+
+/// Configuration of an [`AdaptiveSourceAgent`].
+pub struct SourceConfig {
+    /// Connection identifier (must match the sink).
+    pub conn_id: u32,
+    /// Transport configuration (thresholds, congestion control, ...).
+    pub rudp: RudpConfig,
+    /// Coordination mode (the experiment's independent variable).
+    pub mode: CoordinationMode,
+    /// Frame sizes in emission order; the source finishes when the
+    /// schedule is exhausted.
+    pub frame_sizes: Vec<u32>,
+    /// `Some(fps)` emits at a fixed rate; `None` emits as fast as the
+    /// transport windows allow (greedy).
+    pub fps: Option<f64>,
+    /// Split frames into MSS-sized datagrams that are individually
+    /// markable (required by the §3.3 marking experiments).
+    pub datagram_mode: bool,
+    /// Floor on scaled frame sizes.
+    pub min_frame_bytes: u32,
+    /// Greedy mode keeps this many segments queued in the transport.
+    pub backlog_target: usize,
+    /// Minimum time between successive upper-threshold adaptations —
+    /// applications "do not want to be frequently interrupted for
+    /// adaptation" (§2.3.1) and settle before reacting again.
+    pub min_adapt_gap: iq_netsim::TimeDelta,
+    /// Minimum time between successive lower-threshold (recovery)
+    /// adaptations. The paper's recovery happens once per measuring
+    /// period; our periods are much shorter, so the recovery cadence is
+    /// rate-limited to stay comparable.
+    pub min_lower_gap: iq_netsim::TimeDelta,
+    /// RNG seed for marking decisions.
+    pub seed: u64,
+}
+
+impl SourceConfig {
+    /// A reasonable default around a frame schedule.
+    pub fn new(conn_id: u32, frame_sizes: Vec<u32>) -> Self {
+        Self {
+            conn_id,
+            rudp: RudpConfig::default(),
+            mode: CoordinationMode::Coordinated,
+            frame_sizes,
+            fps: None,
+            datagram_mode: false,
+            min_frame_bytes: 64,
+            backlog_target: 128,
+            min_adapt_gap: time::secs(1.0),
+            min_lower_gap: time::millis(400),
+            seed: 1,
+        }
+    }
+}
+
+/// The sending application agent.
+pub struct AdaptiveSourceAgent {
+    driver: SenderDriver,
+    coordinator: Coordinator,
+    /// The adaptation policy in effect.
+    pub policy: Policy,
+    frame_sizes: Vec<u32>,
+    fps: Option<f64>,
+    datagram_mode: bool,
+    min_frame_bytes: u32,
+    backlog_target: usize,
+    next_frame: usize,
+    frames_emitted: u64,
+    datagram_idx: u64,
+    rng: SmallRng,
+    /// Messages the application offered (including ones the transport
+    /// discarded under coordination) — the denominator of "Mesgs Recvd %".
+    pub offered_msgs: u64,
+    /// Bytes the application offered.
+    pub offered_bytes: u64,
+    /// Threshold callbacks seen (upper, lower).
+    pub callbacks: (u64, u64),
+    min_adapt_gap: iq_netsim::TimeDelta,
+    min_lower_gap: iq_netsim::TimeDelta,
+    last_upper_adapt: Option<Time>,
+    last_lower_adapt: Option<Time>,
+    /// Per-period network-condition history.
+    pub period_log: Vec<NetCond>,
+    finished: bool,
+}
+
+impl AdaptiveSourceAgent {
+    /// Builds the agent; `peer` is the sink's address.
+    pub fn new(cfg: SourceConfig, policy: Policy, peer: Addr, flow: FlowId) -> Self {
+        let conn = SenderConn::new(cfg.conn_id, cfg.rudp.clone());
+        Self {
+            driver: SenderDriver::new(conn, peer, flow),
+            coordinator: Coordinator::new(cfg.mode),
+            policy,
+            frame_sizes: cfg.frame_sizes,
+            fps: cfg.fps,
+            datagram_mode: cfg.datagram_mode,
+            min_frame_bytes: cfg.min_frame_bytes,
+            backlog_target: cfg.backlog_target,
+            next_frame: 0,
+            frames_emitted: 0,
+            datagram_idx: 0,
+            rng: SmallRng::seed_from_u64(cfg.seed),
+            offered_msgs: 0,
+            offered_bytes: 0,
+            callbacks: (0, 0),
+            min_adapt_gap: cfg.min_adapt_gap,
+            min_lower_gap: cfg.min_lower_gap,
+            last_upper_adapt: None,
+            last_lower_adapt: None,
+            period_log: Vec::new(),
+            finished: false,
+        }
+    }
+
+    /// The underlying connection (stats, window).
+    pub fn conn(&self) -> &SenderConn {
+        &self.driver.conn
+    }
+
+    /// What coordination did during the run.
+    pub fn coordination_log(&self) -> iq_core::CoordinationLog {
+        self.coordinator.log()
+    }
+
+    /// Whether every frame has been submitted.
+    pub fn schedule_done(&self) -> bool {
+        self.finished
+    }
+
+    fn on_threshold(&mut self, now: Time, upper: bool, cond: NetCond) {
+        if upper {
+            self.callbacks.0 += 1;
+            // Settle time: ignore upper callbacks arriving too soon
+            // after the previous adaptation (often echoes of our own
+            // adaptation transient).
+            if let Some(last) = self.last_upper_adapt {
+                if now.saturating_sub(last) < self.min_adapt_gap {
+                    return;
+                }
+            }
+            self.last_upper_adapt = Some(now);
+        } else {
+            self.callbacks.1 += 1;
+            if let Some(last) = self.last_lower_adapt {
+                if now.saturating_sub(last) < self.min_lower_gap {
+                    return;
+                }
+            }
+            self.last_lower_adapt = Some(now);
+        }
+        let attrs = match &mut self.policy {
+            Policy::None => AttrList::new(),
+            Policy::Marking(m) => {
+                if upper {
+                    m.on_upper(&cond)
+                } else {
+                    m.on_lower(&cond)
+                }
+            }
+            Policy::Resolution(r) => {
+                if upper {
+                    r.on_upper(&cond)
+                } else {
+                    r.on_lower(&cond)
+                }
+            }
+            Policy::Frequency(f) => {
+                if upper {
+                    f.on_upper(&cond)
+                } else {
+                    f.on_lower(&cond)
+                }
+            }
+            Policy::Deferred(d) => d.on_threshold(upper, &cond, self.frames_emitted),
+        };
+        // The callback's return value flows back to the transport.
+        self.coordinator
+            .report_adaptation(&mut self.driver.conn, &attrs);
+    }
+
+    fn process_events(&mut self, now: Time) {
+        for ev in self.coordinator.take_events(&mut self.driver.conn) {
+            match ev {
+                ConnEvent::UpperThreshold(c) => self.on_threshold(now, true, c),
+                ConnEvent::LowerThreshold(c) => self.on_threshold(now, false, c),
+                ConnEvent::PeriodEnded(c) => self.period_log.push(c),
+                _ => {}
+            }
+        }
+    }
+
+    /// Emits one frame; returns `false` when the schedule is exhausted.
+    fn emit_frame(&mut self, now: Time) -> bool {
+        let Some(&nominal) = self.frame_sizes.get(self.next_frame) else {
+            self.finish_schedule();
+            return false;
+        };
+        self.next_frame += 1;
+        let frame_no = self.frames_emitted;
+        self.frames_emitted += 1;
+
+        // Deferred executions attach their attributes to this frame.
+        let mut attrs = match &mut self.policy {
+            Policy::Deferred(d) => d.on_frame(frame_no),
+            _ => AttrList::new(),
+        };
+        let size = ((nominal as f64 * self.policy.frame_scale()) as u32)
+            .max(self.min_frame_bytes);
+
+        if self.datagram_mode {
+            // Frame becomes a burst of individually markable datagrams.
+            // The datagram *count* follows the nominal frame so that a
+            // resolution adaptation shrinks datagram size, not count —
+            // down-sampling sends "less data in each message with the
+            // previous frequency" (§2.3.2).
+            let n = nominal.div_ceil(DEFAULT_MSS);
+            // Datagrams keep a floor: real applications cannot shrink a
+            // packet below its framing minimum, which also stops header
+            // overhead from swallowing the goodput.
+            let dlen = size.div_ceil(n).clamp(300.min(DEFAULT_MSS), DEFAULT_MSS);
+            let mut remaining = size;
+            for _ in 0..n {
+                let len = remaining.min(dlen);
+                if len == 0 {
+                    break;
+                }
+                remaining -= len;
+                let marked = match &mut self.policy {
+                    Policy::Marking(m) => m.mark(self.datagram_idx, &mut self.rng),
+                    _ => true,
+                };
+                self.datagram_idx += 1;
+                self.offered_msgs += 1;
+                self.offered_bytes += u64::from(len);
+                let a = std::mem::take(&mut attrs);
+                self.coordinator
+                    .send_with_attrs(&mut self.driver.conn, now, len, marked, &a);
+            }
+        } else {
+            self.offered_msgs += 1;
+            self.offered_bytes += u64::from(size);
+            self.coordinator
+                .send_with_attrs(&mut self.driver.conn, now, size, true, &attrs);
+        }
+        if self.next_frame >= self.frame_sizes.len() {
+            // Rate-based sources stop re-arming the frame timer after the
+            // last frame, so the FIN must be requested here.
+            self.finish_schedule();
+        }
+        true
+    }
+
+    fn finish_schedule(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            self.driver.conn.finish();
+        }
+    }
+
+    fn refill_greedy(&mut self, now: Time) {
+        if self.fps.is_some() {
+            return;
+        }
+        while self.driver.conn.backlog_segments() < self.backlog_target {
+            if !self.emit_frame(now) {
+                break;
+            }
+        }
+    }
+
+    fn schedule_next_frame(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some(fps) = self.fps {
+            if self.next_frame < self.frame_sizes.len() {
+                let base = 1e9 / fps;
+                let interval = time::secs(base * self.policy.interval_scale() / 1e9);
+                ctx.set_timer(interval, FRAME_TIMER_TOKEN);
+            }
+        }
+    }
+}
+
+impl Agent for AdaptiveSourceAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        if self.fps.is_some() {
+            ctx.set_timer(0, FRAME_TIMER_TOKEN);
+        } else {
+            self.refill_greedy(ctx.now());
+        }
+        self.driver.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if self.driver.handle_packet(ctx, &pkt) {
+            self.process_events(ctx.now());
+            self.refill_greedy(ctx.now());
+            self.driver.pump(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        match token {
+            RUDP_TIMER_TOKEN => {
+                self.driver.handle_timer(ctx);
+                self.process_events(ctx.now());
+                self.refill_greedy(ctx.now());
+                self.driver.pump(ctx);
+            }
+            FRAME_TIMER_TOKEN => {
+                let now = ctx.now();
+                if self.emit_frame(now) {
+                    self.schedule_next_frame(ctx);
+                }
+                self.process_events(now);
+                self.driver.pump(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_netsim::{LinkSpec, Simulator};
+    use iq_rudp::RudpSinkAgent;
+
+    fn run_source(policy: Policy, cfg_mut: impl FnOnce(&mut SourceConfig)) -> (u64, u64, f64) {
+        let mut sim = Simulator::new(17);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(10e6, time::millis(5), 40_000));
+        let mut cfg = SourceConfig::new(3, vec![1400; 300]);
+        cfg.rudp.loss_tolerance = 0.4;
+        cfg_mut(&mut cfg);
+        let sink_cfg = cfg.rudp.clone();
+        let src = AdaptiveSourceAgent::new(cfg, policy, Addr::new(b, 1), FlowId(1));
+        let tx = sim.add_agent(a, 1, Box::new(src));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(3, sink_cfg, FlowId(1))));
+        sim.run_until(time::secs(60.0));
+        let src = sim.agent::<AdaptiveSourceAgent>(tx).unwrap();
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(src.schedule_done(), "source did not finish its schedule");
+        (src.offered_msgs, sink.metrics.messages(), src.conn().cwnd())
+    }
+
+    #[test]
+    fn greedy_source_delivers_all_frames_without_adaptation() {
+        let (offered, delivered, _) = run_source(Policy::None, |_| {});
+        assert_eq!(offered, 300);
+        assert_eq!(delivered, 300);
+    }
+
+    #[test]
+    fn fixed_rate_source_paces_frames() {
+        let mut sim = Simulator::new(18);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(10e6, time::millis(5), 40_000));
+        let mut cfg = SourceConfig::new(4, vec![1000; 50]);
+        cfg.fps = Some(100.0); // 10 ms apart
+        let sink_cfg = cfg.rudp.clone();
+        let src = AdaptiveSourceAgent::new(cfg, Policy::None, Addr::new(b, 1), FlowId(1));
+        sim.add_agent(a, 1, Box::new(src));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(4, sink_cfg, FlowId(1))));
+        sim.run_until(time::secs(10.0));
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert_eq!(sink.metrics.messages(), 50);
+        // Paced at 10 ms: mean inter-arrival close to that.
+        let ia = sink.metrics.inter_arrival_s();
+        assert!((ia - 0.010).abs() < 0.002, "inter-arrival = {ia}");
+    }
+
+    #[test]
+    fn marking_policy_unmarks_under_loss() {
+        // Constrain the link so drop-tail losses trigger the upper
+        // threshold, then check the marking adapter engaged.
+        let mut sim = Simulator::new(19);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        // Slow, shallow-buffered link: a greedy source overwhelms it.
+        sim.add_duplex_link(a, b, LinkSpec::new(2e6, time::millis(5), 8_000));
+        let mut cfg = SourceConfig::new(5, vec![1400; 400]);
+        cfg.rudp.loss_tolerance = 0.4;
+        cfg.rudp.upper_threshold = Some(0.05);
+        cfg.rudp.lower_threshold = Some(0.01);
+        cfg.datagram_mode = true;
+        let sink_cfg = cfg.rudp.clone();
+        let src = AdaptiveSourceAgent::new(
+            cfg,
+            Policy::Marking(MarkingAdapter::default()),
+            Addr::new(b, 1),
+            FlowId(1),
+        );
+        let tx = sim.add_agent(a, 1, Box::new(src));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(5, sink_cfg, FlowId(1))));
+        sim.run_until(time::secs(60.0));
+        let src = sim.agent::<AdaptiveSourceAgent>(tx).unwrap();
+        assert!(src.callbacks.0 > 0, "upper threshold never fired");
+        if let Policy::Marking(m) = &src.policy {
+            assert!(m.adaptations > 0);
+        } else {
+            unreachable!()
+        }
+        // Coordination should have discarded some unmarked datagrams.
+        assert!(src.conn().stats().msgs_discarded > 0);
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(sink.metrics.messages() > 0);
+        assert!(sink.metrics.messages() < src.offered_msgs);
+    }
+
+    #[test]
+    fn frequency_policy_stretches_emission_under_loss() {
+        let mut sim = Simulator::new(29);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(1.5e6, time::millis(5), 8_000));
+        // 200 frames at 100 fps would take 2 s unloaded; the link only
+        // carries ~1.5 Mb/s of the 1.12 Mb/s offered plus overhead, so
+        // losses trigger frequency adaptation and stretch the schedule.
+        let mut cfg = SourceConfig::new(7, vec![1400; 200]);
+        cfg.fps = Some(100.0);
+        cfg.rudp.upper_threshold = Some(0.05);
+        cfg.rudp.lower_threshold = Some(0.005);
+        let sink_cfg = cfg.rudp.clone();
+        let src = AdaptiveSourceAgent::new(
+            cfg,
+            Policy::Frequency(crate::FrequencyAdapter::default()),
+            Addr::new(b, 1),
+            FlowId(1),
+        );
+        let tx = sim.add_agent(a, 1, Box::new(src));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(7, sink_cfg, FlowId(1))));
+        sim.run_until(time::secs(120.0));
+        let src = sim.agent::<AdaptiveSourceAgent>(tx).unwrap();
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(src.schedule_done());
+        // Frequency adaptation drops no messages.
+        assert_eq!(sink.metrics.messages(), 200);
+        if src.callbacks.0 > 0 {
+            if let Policy::Frequency(f) = &src.policy {
+                assert!(f.adaptations > 0);
+            } else {
+                unreachable!()
+            }
+            // The coordinator saw the ADAPT_FREQ reports but left the
+            // window alone.
+            assert!(src.coordination_log().frequency_reports > 0);
+            assert_eq!(src.coordination_log().window_rescales, 0);
+        }
+    }
+
+    #[test]
+    fn resolution_policy_shrinks_frames_under_loss() {
+        let mut sim = Simulator::new(23);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(2e6, time::millis(5), 8_000));
+        let mut cfg = SourceConfig::new(6, vec![1400; 400]);
+        cfg.rudp.upper_threshold = Some(0.05);
+        cfg.rudp.lower_threshold = Some(0.005);
+        let sink_cfg = cfg.rudp.clone();
+        let src = AdaptiveSourceAgent::new(
+            cfg,
+            Policy::Resolution(ResolutionAdapter::default()),
+            Addr::new(b, 1),
+            FlowId(1),
+        );
+        let tx = sim.add_agent(a, 1, Box::new(src));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(6, sink_cfg, FlowId(1))));
+        sim.run_until(time::secs(120.0));
+        let src = sim.agent::<AdaptiveSourceAgent>(tx).unwrap();
+        assert!(src.callbacks.0 > 0, "upper threshold never fired");
+        if let Policy::Resolution(r) = &src.policy {
+            assert!(r.adaptations > 0);
+        } else {
+            unreachable!()
+        }
+        // Coordination re-inflated the window at least once.
+        assert!(src.coordination_log().window_rescales > 0);
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        // Resolution adaptation never drops messages, only shrinks them.
+        assert_eq!(sink.metrics.messages(), src.offered_msgs);
+        assert!(sink.metrics.bytes() < 400 * 1400);
+    }
+}

@@ -1,0 +1,143 @@
+//! The four figures of the paper's evaluation.
+
+use iq_metrics::TimeSeries;
+use iq_trace::MembershipTrace;
+
+use crate::scenario::RunResult;
+use crate::tables::{run_table3, run_table6, Size, TABLE6_IPERF_BPS};
+
+/// Figure 1: membership dynamics — the group-size trace driving the
+/// changing-application workloads.
+pub fn figure1() -> TimeSeries {
+    let trace = MembershipTrace::paper_default();
+    let mut s = TimeSeries::new();
+    for (i, &g) in trace.samples.iter().enumerate() {
+        s.record(i as u64, f64::from(g));
+    }
+    s
+}
+
+/// Figures 2 and 3: per-packet delay jitter at the receiver for the
+/// conflict experiment, coordinated (Figure 2) vs uncoordinated
+/// (Figure 3). Returns `(iq_rudp_series, rudp_series)`.
+pub fn figures_2_3(size: Size) -> (TimeSeries, TimeSeries) {
+    let rows = run_table3(size);
+    (rows[0].jitter_series.clone(), rows[1].jitter_series.clone())
+}
+
+/// One bar group of Figure 4.
+#[derive(Debug, Clone, Copy)]
+pub struct Figure4Point {
+    /// Background iperf rate, bits/second.
+    pub iperf_bps: f64,
+    /// Throughput improvement of IQ-RUDP over RUDP, percent.
+    pub throughput_gain_pct: f64,
+    /// Jitter reduction of IQ-RUDP relative to RUDP, percent.
+    pub jitter_reduction_pct: f64,
+}
+
+/// Figure 4: performance improvement from coordination against
+/// over-reaction, as a function of congestion level (derived from the
+/// Table 6 sweep; the paper reports +6→25 % throughput and −20→76 %
+/// jitter as congestion grows).
+pub fn figure4(size: Size) -> Vec<Figure4Point> {
+    figure4_from_rows(&run_table6(size))
+}
+
+/// Computes Figure 4 from already-run Table 6 rows (pairs of
+/// IQ-RUDP/RUDP per iperf rate).
+pub fn figure4_from_rows(rows: &[RunResult]) -> Vec<Figure4Point> {
+    assert_eq!(rows.len(), 2 * TABLE6_IPERF_BPS.len(), "expected table 6 rows");
+    TABLE6_IPERF_BPS
+        .iter()
+        .enumerate()
+        .map(|(i, &iperf_bps)| {
+            let iq = &rows[2 * i];
+            let rudp = &rows[2 * i + 1];
+            let throughput_gain_pct = if rudp.throughput_kbps > 0.0 {
+                100.0 * (iq.throughput_kbps / rudp.throughput_kbps - 1.0)
+            } else {
+                0.0
+            };
+            let jitter_reduction_pct = if rudp.jitter_s > 0.0 {
+                100.0 * (1.0 - iq.jitter_s / rudp.jitter_s)
+            } else {
+                0.0
+            };
+            Figure4Point {
+                iperf_bps,
+                throughput_gain_pct,
+                jitter_reduction_pct,
+            }
+        })
+        .collect()
+}
+
+/// Renders Figure 4 as text rows.
+pub fn render_figure4(points: &[Figure4Point]) -> String {
+    use std::fmt::Write;
+    let mut out = String::from("== Figure 4: Performance improvement - overreaction ==\n");
+    let _ = writeln!(out, "iperf(Mbps)  throughput gain(%)  jitter reduction(%)");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{:<11}  {:<18.1}  {:.1}",
+            p.iperf_bps / 1e6,
+            p.throughput_gain_pct,
+            p.jitter_reduction_pct
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure1_mirrors_the_trace() {
+        let s = figure1();
+        let trace = MembershipTrace::paper_default();
+        assert_eq!(s.len(), trace.len());
+        assert_eq!(s.points[0].1, f64::from(trace.samples[0]));
+    }
+
+    #[test]
+    fn figure4_math() {
+        use crate::scenario::RunResult;
+        fn row(tp: f64, jit: f64) -> RunResult {
+            RunResult {
+                label: "x",
+                duration_s: 1.0,
+                throughput_kbps: tp,
+                inter_arrival_s: 0.0,
+                jitter_s: jit,
+                tagged_delay_ms: 0.0,
+                tagged_jitter_ms: 0.0,
+                msgs_offered: 0,
+                msgs_delivered: 0,
+                delivered_pct: 0.0,
+                jitter_series: TimeSeries::new(),
+                finished: true,
+                coordination: None,
+                callbacks: (0, 0),
+                sender_stats: None,
+            }
+        }
+        let rows = vec![
+            row(110.0, 0.8),  // 12M IQ
+            row(100.0, 1.0),  // 12M RUDP
+            row(125.0, 0.5),  // 16M IQ
+            row(100.0, 1.0),  // 16M RUDP
+            row(150.0, 0.25), // 18M IQ
+            row(100.0, 1.0),  // 18M RUDP
+        ];
+        let pts = figure4_from_rows(&rows);
+        assert!((pts[0].throughput_gain_pct - 10.0).abs() < 1e-9);
+        assert!((pts[0].jitter_reduction_pct - 20.0).abs() < 1e-9);
+        assert!((pts[2].throughput_gain_pct - 50.0).abs() < 1e-9);
+        assert!((pts[2].jitter_reduction_pct - 75.0).abs() < 1e-9);
+        let rendered = render_figure4(&pts);
+        assert_eq!(rendered.lines().count(), 5);
+    }
+}

@@ -1,0 +1,24 @@
+//! # iq-experiments
+//!
+//! Reproductions of every table and figure in the IQ-RUDP paper's
+//! evaluation (§3). Each module builds its scenario(s) on the shared
+//! [`scenario`] runner and renders rows shaped like the paper's tables.
+//!
+//! * [`tables`] — Tables 1–8 (`run_table1` … `run_table8`).
+//! * [`figures`] — Figures 1–4.
+//! * [`runner`] — parallel execution and row rendering.
+
+#![warn(missing_docs)]
+
+pub mod ablations;
+pub mod figures;
+pub mod runner;
+pub mod scenario;
+pub mod tables;
+
+pub use runner::run_parallel;
+pub use scenario::{
+    app_frame_sizes, run_scenario, CrossTraffic, PolicySpec, RunResult, Scenario, Scheme,
+    VbrSpec,
+};
+pub use tables::Size;

@@ -1,0 +1,161 @@
+//! Parallel scenario execution and shared rendering helpers.
+
+use iq_metrics::{fmt, Table};
+
+use crate::scenario::{run_scenario, RunResult, Scenario};
+
+/// Runs independent scenarios in parallel (one thread each; simulations
+/// are single-threaded and deterministic, so results are order-stable).
+pub fn run_parallel(scenarios: &[Scenario]) -> Vec<RunResult> {
+    crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = scenarios
+            .iter()
+            .map(|sc| s.spawn(move |_| run_scenario(sc)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scenario thread panicked"))
+            .collect()
+    })
+    .expect("scope")
+}
+
+/// Runs each scenario `n_seeds` times with distinct seeds and averages
+/// the scalar metrics, stabilizing single-run variance. The jitter
+/// series and counters of the first seed are kept.
+pub fn run_averaged(scenarios: &[Scenario], n_seeds: u32) -> Vec<RunResult> {
+    let n = n_seeds.max(1);
+    let mut expanded = Vec::with_capacity(scenarios.len() * n as usize);
+    for sc in scenarios {
+        for i in 0..n {
+            let mut s = sc.clone();
+            s.seed = sc.seed.wrapping_add(u64::from(i) * 7919);
+            expanded.push(s);
+        }
+    }
+    let all = run_parallel(&expanded);
+    all.chunks(n as usize)
+        .map(|chunk| {
+            let mut avg = chunk[0].clone();
+            let k = chunk.len() as f64;
+            avg.duration_s = chunk.iter().map(|r| r.duration_s).sum::<f64>() / k;
+            avg.throughput_kbps = chunk.iter().map(|r| r.throughput_kbps).sum::<f64>() / k;
+            avg.inter_arrival_s = chunk.iter().map(|r| r.inter_arrival_s).sum::<f64>() / k;
+            avg.jitter_s = chunk.iter().map(|r| r.jitter_s).sum::<f64>() / k;
+            avg.tagged_delay_ms = chunk.iter().map(|r| r.tagged_delay_ms).sum::<f64>() / k;
+            avg.tagged_jitter_ms = chunk.iter().map(|r| r.tagged_jitter_ms).sum::<f64>() / k;
+            avg.delivered_pct = chunk.iter().map(|r| r.delivered_pct).sum::<f64>() / k;
+            avg.msgs_delivered =
+                (chunk.iter().map(|r| r.msgs_delivered).sum::<u64>() as f64 / k) as u64;
+            avg.finished = chunk.iter().all(|r| r.finished);
+            avg
+        })
+        .collect()
+}
+
+/// Renders the four-column layout shared by Tables 1, 2, 5 and 7.
+pub fn render_time_tp_ia_jitter(title: &str, rows: &[RunResult]) -> String {
+    let mut t = Table::new(
+        title,
+        &[
+            "Transport Tested",
+            "Time(s)",
+            "Throughput(KB/s)",
+            "Inter-arrival(s)",
+            "Jitter(s)",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.label.to_string(),
+            fmt(r.duration_s, 1),
+            fmt(r.throughput_kbps, 1),
+            fmt(r.inter_arrival_s, 3),
+            fmt(r.jitter_s, 3),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the conflict-experiment layout (Tables 3 and 4).
+pub fn render_conflict(title: &str, rows: &[RunResult]) -> String {
+    let mut t = Table::new(
+        title,
+        &[
+            "Scheme",
+            "Duration(s)",
+            "Mesgs Recvd(%)",
+            "Tagged Delay(ms)",
+            "Tagged Jitter(ms)",
+            "Delay(ms)",
+            "Jitter(ms)",
+        ],
+    );
+    for r in rows {
+        t.row(&[
+            r.label.to_string(),
+            fmt(r.duration_s, 1),
+            fmt(r.delivered_pct, 1),
+            fmt(r.tagged_delay_ms, 1),
+            fmt(r.tagged_jitter_ms, 2),
+            fmt(r.inter_arrival_s * 1e3, 1),
+            fmt(r.jitter_s * 1e3, 2),
+        ]);
+    }
+    t.render()
+}
+
+/// Renders the over-reaction layout (Tables 5, 6, 8): throughput first.
+pub fn render_overreaction(title: &str, labels: &[String], rows: &[RunResult]) -> String {
+    let mut t = Table::new(
+        title,
+        &[
+            "Scheme",
+            "Throughput(KB/s)",
+            "Duration(s)",
+            "Delay(ms)",
+            "Jitter(ms)",
+        ],
+    );
+    for (label, r) in labels.iter().zip(rows) {
+        t.row(&[
+            label.clone(),
+            fmt(r.throughput_kbps, 1),
+            fmt(r.duration_s, 1),
+            fmt(r.inter_arrival_s * 1e3, 2),
+            fmt(r.jitter_s * 1e3, 2),
+        ]);
+    }
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{PolicySpec, Scheme};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut sc = Scenario::new(Scheme::RudpPlain, PolicySpec::None, vec![1400; 80]);
+        sc.cross.cbr_bps = Some(8e6);
+        sc.deadline_s = 60.0;
+        let seq = run_scenario(&sc);
+        let par = run_parallel(&[sc.clone(), sc.clone()]);
+        assert_eq!(par.len(), 2);
+        assert_eq!(par[0].duration_s, seq.duration_s);
+        assert_eq!(par[1].msgs_delivered, seq.msgs_delivered);
+    }
+
+    #[test]
+    fn renderers_produce_one_line_per_row() {
+        let mut sc = Scenario::new(Scheme::RudpPlain, PolicySpec::None, vec![1400; 30]);
+        sc.deadline_s = 30.0;
+        let r = run_scenario(&sc);
+        let s = render_time_tp_ia_jitter("T", &[r.clone()]);
+        assert_eq!(s.lines().count(), 4);
+        let s = render_conflict("T", &[r.clone()]);
+        assert!(s.contains("Mesgs Recvd"));
+        let s = render_overreaction("T", &["X".into()], &[r]);
+        assert!(s.contains("Throughput"));
+    }
+}

@@ -1,0 +1,524 @@
+//! Generic experiment scenarios: one adaptive application flow over the
+//! paper's dumbbell, with configurable cross traffic and transport
+//! scheme. Every table module builds on this runner.
+
+use iq_core::{CoordinationLog, CoordinationMode};
+use iq_echo::{
+    AdaptiveSourceAgent, DeferredResolution, EchoSinkAgent, MarkingAdapter, Policy,
+    ResolutionAdapter, SourceConfig,
+};
+use iq_metrics::TimeSeries;
+use iq_netsim::{
+    build_dumbbell, time, Addr, AgentId, Dumbbell, DumbbellSpec, FlowId, Simulator,
+};
+use iq_rudp::RudpConfig;
+use iq_tcp::{TcpBulkSenderAgent, TcpConfig, TcpSenderConn, TcpSinkAgent};
+use iq_trace::{MembershipConfig, MembershipTrace};
+use iq_workload::{CbrSource, VbrSource};
+
+/// Which transport/adaptation scheme the application flow runs — the
+/// row label of the paper's tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheme {
+    /// TCP Reno baseline.
+    Tcp,
+    /// RUDP with congestion control, no application adaptation, no
+    /// coordination (the "IQ-RUDP" transport-only row of Table 1).
+    RudpPlain,
+    /// RUDP with application adaptation but congestion control disabled
+    /// (Table 1 row 3, "App adaptation only").
+    AppAdaptOnly,
+    /// Application adaptation + transport adaptation, uncoordinated
+    /// (the "RUDP" rows of Tables 3-8).
+    Uncoordinated,
+    /// Application adaptation + transport adaptation, coordinated
+    /// ("IQ-RUDP" rows; "w/o ADAPT_COND" in Table 8's terms).
+    Coordinated,
+    /// Coordinated plus the Eq. (1) obsolete-information correction
+    /// ("IQ-RUDP w/ ADAPT_COND").
+    CoordinatedWithCond,
+}
+
+impl Scheme {
+    /// The coordination mode a scheme maps to (RUDP-based schemes only).
+    pub fn mode(self) -> CoordinationMode {
+        match self {
+            Scheme::Coordinated => CoordinationMode::Coordinated,
+            Scheme::CoordinatedWithCond => CoordinationMode::CoordinatedWithCond,
+            _ => CoordinationMode::Uncoordinated,
+        }
+    }
+
+    /// Human-readable row label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Tcp => "TCP",
+            Scheme::RudpPlain => "IQ-RUDP",
+            Scheme::AppAdaptOnly => "App adaptation only",
+            Scheme::Uncoordinated => "RUDP",
+            Scheme::Coordinated => "IQ-RUDP",
+            Scheme::CoordinatedWithCond => "IQ-RUDP w/ ADAPT_COND",
+        }
+    }
+}
+
+/// The application adaptation policy a scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicySpec {
+    /// No application adaptation.
+    None,
+    /// §3.3 marking (reliability) adaptation.
+    Marking,
+    /// §3.4 resolution (down-sampling) adaptation.
+    Resolution,
+    /// Frequency adaptation (send the same frames, less often).
+    Frequency,
+    /// §3.5 deferred resolution with the given frame granularity.
+    Deferred {
+        /// Frames between permissible adaptations (paper: 20).
+        granularity: u64,
+    },
+}
+
+impl PolicySpec {
+    fn build(self, scheme: Scheme) -> Policy {
+        match self {
+            PolicySpec::None => Policy::None,
+            PolicySpec::Marking => Policy::Marking(MarkingAdapter::default()),
+            PolicySpec::Resolution => Policy::Resolution(ResolutionAdapter::default()),
+            PolicySpec::Frequency => Policy::Frequency(iq_echo::FrequencyAdapter::default()),
+            PolicySpec::Deferred { granularity } => Policy::Deferred(DeferredResolution::new(
+                ResolutionAdapter::default(),
+                granularity,
+                scheme == Scheme::CoordinatedWithCond,
+            )),
+        }
+    }
+}
+
+/// VBR cross-traffic specification.
+#[derive(Debug, Clone)]
+pub struct VbrSpec {
+    /// Frames per second (paper: 500).
+    pub fps: f64,
+    /// Target mean offered rate in bits/second; the MBone trace is
+    /// scaled to hit it.
+    pub mean_bps: f64,
+    /// Trace seed.
+    pub seed: u64,
+}
+
+impl VbrSpec {
+    /// Materializes the per-frame sizes.
+    pub fn frame_sizes(&self) -> Vec<u32> {
+        let trace = MembershipTrace::generate(&MembershipConfig {
+            seed: self.seed,
+            len: 4000,
+            ..MembershipConfig::default()
+        });
+        let mean_group = trace.samples.iter().map(|&g| f64::from(g)).sum::<f64>()
+            / trace.samples.len() as f64;
+        let bytes_per_member = self.mean_bps / (8.0 * self.fps * mean_group);
+        trace
+            .samples
+            .iter()
+            .map(|&g| ((f64::from(g) * bytes_per_member) as u32).max(200))
+            .collect()
+    }
+}
+
+/// Cross traffic sharing the bottleneck with the application flow.
+#[derive(Debug, Clone, Default)]
+pub struct CrossTraffic {
+    /// iperf-style CBR UDP rate in bits/second.
+    pub cbr_bps: Option<f64>,
+    /// VBR UDP (the changing-network workload).
+    pub vbr: Option<VbrSpec>,
+    /// A competing TCP bulk flow (the fairness test).
+    pub tcp_bulk: bool,
+}
+
+/// A complete single-flow experiment.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Simulation seed.
+    pub seed: u64,
+    /// Topology (defaults to the paper's 20 Mb / 30 ms dumbbell).
+    pub dumbbell: DumbbellSpec,
+    /// Row scheme.
+    pub scheme: Scheme,
+    /// Application adaptation policy.
+    pub policy: PolicySpec,
+    /// Frame schedule for the application flow.
+    pub frame_sizes: Vec<u32>,
+    /// `Some(fps)` = rate-based application, `None` = greedy.
+    pub fps: Option<f64>,
+    /// Split frames into individually markable datagrams.
+    pub datagram_mode: bool,
+    /// Receiver loss tolerance.
+    pub loss_tolerance: f64,
+    /// Error-ratio callback thresholds (upper, lower).
+    pub thresholds: (Option<f64>, Option<f64>),
+    /// Fixed window used when congestion control is disabled.
+    pub fixed_cwnd: f64,
+    /// Override for the transport's measuring period (long-RTT paths
+    /// need a period that spans at least one RTT).
+    pub measure_period: Option<iq_netsim::TimeDelta>,
+    /// Settle time between upper-threshold adaptations, seconds.
+    pub min_adapt_gap_s: f64,
+    /// Cadence limit for lower-threshold (recovery) adaptations, seconds.
+    pub min_lower_gap_s: f64,
+    /// Run the bottleneck queue under RED instead of drop-tail
+    /// (queue-discipline ablation; the paper's testbed was drop-tail).
+    pub red_bottleneck: bool,
+    /// Cross traffic.
+    pub cross: CrossTraffic,
+    /// Simulated-time budget in seconds.
+    pub deadline_s: f64,
+}
+
+impl Scenario {
+    /// A scenario skeleton with the paper's defaults.
+    pub fn new(scheme: Scheme, policy: PolicySpec, frame_sizes: Vec<u32>) -> Self {
+        Self {
+            seed: 42,
+            dumbbell: DumbbellSpec::paper_default(3),
+            scheme,
+            policy,
+            frame_sizes,
+            fps: None,
+            datagram_mode: false,
+            loss_tolerance: 0.0,
+            thresholds: (None, None),
+            fixed_cwnd: 32.0,
+            measure_period: None,
+            min_adapt_gap_s: 1.0,
+            min_lower_gap_s: 0.4,
+            red_bottleneck: false,
+            cross: CrossTraffic::default(),
+            deadline_s: 600.0,
+        }
+    }
+}
+
+/// What a run measured — the superset of every table's columns.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Row label.
+    pub label: &'static str,
+    /// Application-level transfer duration (first → last arrival), s.
+    pub duration_s: f64,
+    /// Receiver goodput, KB/s.
+    pub throughput_kbps: f64,
+    /// Mean message inter-arrival, s.
+    pub inter_arrival_s: f64,
+    /// Std-dev of message inter-arrival, s.
+    pub jitter_s: f64,
+    /// Mean inter-arrival of tagged messages, ms.
+    pub tagged_delay_ms: f64,
+    /// Std-dev of tagged inter-arrival, ms.
+    pub tagged_jitter_ms: f64,
+    /// Messages the application offered.
+    pub msgs_offered: u64,
+    /// Messages delivered to the receiving application.
+    pub msgs_delivered: u64,
+    /// Delivered percentage.
+    pub delivered_pct: f64,
+    /// Per-message jitter series (Figures 2/3).
+    pub jitter_series: TimeSeries,
+    /// Whether the transfer finished before the deadline.
+    pub finished: bool,
+    /// Coordination counters (RUDP schemes).
+    pub coordination: Option<CoordinationLog>,
+    /// Upper/lower callbacks fired at the application.
+    pub callbacks: (u64, u64),
+    /// Sender-side transport counters (RUDP schemes).
+    pub sender_stats: Option<iq_rudp::SenderStats>,
+}
+
+/// Attaches the configured cross traffic to a dumbbell. Pair 1 carries
+/// CBR, pair 2 carries VBR or the TCP bulk flow.
+fn add_cross_traffic(sim: &mut Simulator, db: &Dumbbell, cross: &CrossTraffic, deadline_s: f64) {
+    if let Some(bps) = cross.cbr_bps {
+        sim.add_agent(
+            db.left_hosts[1],
+            10,
+            Box::new(CbrSource::new(
+                Addr::new(db.right_hosts[1], 10),
+                FlowId(100),
+                bps,
+                972,
+            )),
+        );
+        sim.add_agent(db.right_hosts[1], 10, Box::new(iq_workload::UdpSink::new()));
+    }
+    if let Some(vbr) = &cross.vbr {
+        sim.add_agent(
+            db.left_hosts[2],
+            11,
+            Box::new(VbrSource::new(
+                Addr::new(db.right_hosts[2], 11),
+                FlowId(101),
+                vbr.fps,
+                vbr.frame_sizes(),
+            )),
+        );
+        sim.add_agent(db.right_hosts[2], 11, Box::new(iq_workload::UdpSink::new()));
+    }
+    if cross.tcp_bulk {
+        // Enough volume to outlast the run.
+        let msgs = (deadline_s * 2.5e6 / 1400.0) as u64;
+        let cfg = TcpConfig::default();
+        sim.add_agent(
+            db.left_hosts[2],
+            12,
+            Box::new(TcpBulkSenderAgent::new(
+                TcpSenderConn::new(900, cfg.clone()),
+                Addr::new(db.right_hosts[2], 12),
+                FlowId(102),
+                msgs,
+                1400,
+            )),
+        );
+        sim.add_agent(
+            db.right_hosts[2],
+            12,
+            Box::new(TcpSinkAgent::new(900, cfg, FlowId(102))),
+        );
+    }
+}
+
+/// Runs one scenario to completion (or its deadline) and reports.
+pub fn run_scenario(sc: &Scenario) -> RunResult {
+    match sc.scheme {
+        Scheme::Tcp => run_tcp(sc),
+        _ => run_rudp(sc),
+    }
+}
+
+fn rudp_config(sc: &Scenario) -> RudpConfig {
+    let mut cfg = RudpConfig::default();
+    cfg.loss_tolerance = sc.loss_tolerance;
+    cfg.upper_threshold = sc.thresholds.0;
+    cfg.lower_threshold = sc.thresholds.1;
+    if let Some(p) = sc.measure_period {
+        cfg.measure_period = p;
+    }
+    if sc.scheme == Scheme::AppAdaptOnly {
+        cfg.cc.enabled = false;
+        cfg.cc.fixed_cwnd = sc.fixed_cwnd;
+    }
+    cfg
+}
+
+fn run_rudp(sc: &Scenario) -> RunResult {
+    let mut sim = Simulator::new(sc.seed);
+    let mut dspec = sc.dumbbell.clone();
+    dspec.red_bottleneck = sc.red_bottleneck;
+    let db = build_dumbbell(&mut sim, &dspec);
+    add_cross_traffic(&mut sim, &db, &sc.cross, sc.deadline_s);
+
+    let mut cfg = SourceConfig::new(1, sc.frame_sizes.clone());
+    cfg.rudp = rudp_config(sc);
+    cfg.mode = sc.scheme.mode();
+    cfg.fps = sc.fps;
+    cfg.datagram_mode = sc.datagram_mode;
+    cfg.min_adapt_gap = time::secs(sc.min_adapt_gap_s);
+    cfg.min_lower_gap = time::secs(sc.min_lower_gap_s);
+    cfg.seed = sc.seed ^ 0x5eed;
+    let sink_cfg = cfg.rudp.clone();
+    let policy = sc.policy.build(sc.scheme);
+    let src = AdaptiveSourceAgent::new(cfg, policy, Addr::new(db.right_hosts[0], 1), FlowId(1));
+    let tx = sim.add_agent(db.left_hosts[0], 1, Box::new(src));
+    let rx = sim.add_agent(
+        db.right_hosts[0],
+        1,
+        Box::new(EchoSinkAgent::new(1, sink_cfg, FlowId(1))),
+    );
+    run_until_quiet(&mut sim, sc.deadline_s, rx);
+
+    let src = sim.agent::<AdaptiveSourceAgent>(tx).expect("source");
+    let sink = sim.agent::<EchoSinkAgent>(rx).expect("sink");
+    let m = &sink.metrics;
+    RunResult {
+        label: sc.scheme.label(),
+        duration_s: m.duration_s(),
+        throughput_kbps: m.throughput_kbps(),
+        inter_arrival_s: m.inter_arrival_s(),
+        jitter_s: m.jitter_s(),
+        tagged_delay_ms: m.tagged_inter_arrival_s() * 1e3,
+        tagged_jitter_ms: m.tagged_jitter_s() * 1e3,
+        msgs_offered: src.offered_msgs,
+        msgs_delivered: m.messages(),
+        delivered_pct: m.delivered_pct(src.offered_msgs),
+        jitter_series: m.jitter_series().clone(),
+        finished: sink.is_finished(),
+        coordination: Some(src.coordination_log()),
+        callbacks: src.callbacks,
+        sender_stats: Some(src.conn().stats()),
+    }
+}
+
+fn run_tcp(sc: &Scenario) -> RunResult {
+    let mut sim = Simulator::new(sc.seed);
+    let mut dspec = sc.dumbbell.clone();
+    dspec.red_bottleneck = sc.red_bottleneck;
+    let db = build_dumbbell(&mut sim, &dspec);
+    add_cross_traffic(&mut sim, &db, &sc.cross, sc.deadline_s);
+
+    // The TCP baseline sends the same frame schedule greedily (TCP has
+    // no application adaptation path).
+    let cfg = TcpConfig::default();
+    let frames = sc.frame_sizes.clone();
+    let total: u64 = frames.iter().map(|&s| u64::from(s)).sum();
+    let msg_size = (total / frames.len().max(1) as u64).clamp(200, 64_000) as u32;
+    let msgs = total / u64::from(msg_size);
+    sim.add_agent(
+        db.left_hosts[0],
+        1,
+        Box::new(TcpBulkSenderAgent::new(
+            TcpSenderConn::new(1, cfg.clone()),
+            Addr::new(db.right_hosts[0], 1),
+            FlowId(1),
+            msgs,
+            msg_size,
+        )),
+    );
+    let rx = sim.add_agent(
+        db.right_hosts[0],
+        1,
+        Box::new(TcpSinkAgent::new(1, cfg, FlowId(1))),
+    );
+    run_until_quiet_tcp(&mut sim, sc.deadline_s, rx);
+
+    let sink = sim.agent::<TcpSinkAgent>(rx).expect("sink");
+    let m = &sink.metrics;
+    RunResult {
+        label: Scheme::Tcp.label(),
+        duration_s: m.duration_s(),
+        throughput_kbps: m.throughput_kbps(),
+        inter_arrival_s: m.inter_arrival_s(),
+        jitter_s: m.jitter_s(),
+        tagged_delay_ms: 0.0,
+        tagged_jitter_ms: 0.0,
+        msgs_offered: msgs,
+        msgs_delivered: m.messages(),
+        delivered_pct: m.delivered_pct(msgs),
+        jitter_series: m.jitter_series().clone(),
+        finished: sink.is_finished(),
+        coordination: None,
+        callbacks: (0, 0),
+        sender_stats: None,
+    }
+}
+
+/// Runs in one-second slices until the app flow finishes or `deadline_s`
+/// elapses (cross traffic would otherwise keep the heap busy forever).
+fn run_until_quiet(sim: &mut Simulator, deadline_s: f64, rx: AgentId) {
+    let deadline = time::secs(deadline_s);
+    while sim.now() < deadline {
+        sim.run_for(time::secs(1.0));
+        if sim
+            .agent::<EchoSinkAgent>(rx)
+            .is_some_and(|s| s.is_finished())
+        {
+            break;
+        }
+    }
+}
+
+fn run_until_quiet_tcp(sim: &mut Simulator, deadline_s: f64, rx: AgentId) {
+    let deadline = time::secs(deadline_s);
+    while sim.now() < deadline {
+        sim.run_for(time::secs(1.0));
+        if sim
+            .agent::<TcpSinkAgent>(rx)
+            .is_some_and(|s| s.is_finished())
+        {
+            break;
+        }
+    }
+}
+
+/// The paper's default application trace: MBone group dynamics at
+/// 3000 bytes/member (§3.1).
+pub fn app_frame_sizes(len: usize, seed: u64) -> Vec<u32> {
+    let trace = MembershipTrace::generate(&MembershipConfig {
+        seed,
+        len,
+        base: 3.0,
+        burst_scale: 3.0,
+        min: 1,
+        max: 10,
+        ..MembershipConfig::default()
+    });
+    trace.frame_sizes(3000)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_scenario(scheme: Scheme) -> Scenario {
+        let mut sc = Scenario::new(scheme, PolicySpec::None, vec![1400; 150]);
+        sc.cross.cbr_bps = Some(10e6);
+        sc.deadline_s = 120.0;
+        sc
+    }
+
+    #[test]
+    fn rudp_scenario_completes_and_reports() {
+        let r = run_scenario(&small_scenario(Scheme::RudpPlain));
+        assert!(r.finished, "did not finish: {r:?}");
+        assert_eq!(r.msgs_delivered, 150);
+        assert!(r.throughput_kbps > 0.0);
+        assert!(r.duration_s > 0.0);
+    }
+
+    #[test]
+    fn tcp_scenario_completes_and_reports() {
+        let r = run_scenario(&small_scenario(Scheme::Tcp));
+        assert!(r.finished, "did not finish: {r:?}");
+        assert!(r.msgs_delivered > 0);
+        assert!(r.throughput_kbps > 0.0);
+    }
+
+    #[test]
+    fn cc_disabled_scheme_uses_fixed_window() {
+        let mut sc = small_scenario(Scheme::AppAdaptOnly);
+        sc.fixed_cwnd = 8.0;
+        let r = run_scenario(&sc);
+        assert!(r.finished);
+        assert_eq!(r.msgs_delivered, 150);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_results() {
+        let sc = small_scenario(Scheme::RudpPlain);
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.msgs_delivered, b.msgs_delivered);
+        assert_eq!(a.jitter_s, b.jitter_s);
+    }
+
+    #[test]
+    fn vbr_spec_hits_target_rate() {
+        let v = VbrSpec {
+            fps: 500.0,
+            mean_bps: 8e6,
+            seed: 3,
+        };
+        let sizes = v.frame_sizes();
+        let mean = sizes.iter().map(|&s| f64::from(s)).sum::<f64>() / sizes.len() as f64;
+        let rate = mean * 8.0 * 500.0;
+        assert!((rate - 8e6).abs() / 8e6 < 0.15, "rate = {rate}");
+    }
+
+    #[test]
+    fn app_frame_sizes_are_multiples_of_3000() {
+        let sizes = app_frame_sizes(100, 1);
+        assert_eq!(sizes.len(), 100);
+        assert!(sizes.iter().all(|&s| s % 3000 == 0 && s >= 3000));
+    }
+}

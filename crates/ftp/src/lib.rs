@@ -1,0 +1,24 @@
+//! # iq-ftp
+//!
+//! Selectively lossy file transfer over IQ-RUDP — the follow-on system
+//! the paper names in its conclusion (§4): "we are currently developing
+//! the IQ-FTP implementation for selectively lossy file transfers: end
+//! users can dynamically select (with user-provided functions) the most
+//! critical file contents to be transferred to their local sites."
+//!
+//! A [`FileSpec`] scores every block with a user criticality function;
+//! the [`FtpSenderAgent`] streams blocks most-critical-first, marking
+//! those above an adaptive priority cutoff. Under congestion the cutoff
+//! rises and — through IQ-RUDP coordination — the low-priority tail is
+//! discarded before it enters the network, so critical content keeps
+//! its timeliness.
+
+#![warn(missing_docs)]
+
+pub mod file;
+pub mod transfer;
+
+pub use file::{Block, FileSpec};
+pub use transfer::{
+    completeness_at, FtpConfig, FtpReceiverAgent, FtpSenderAgent, TransferReport,
+};

@@ -1,0 +1,213 @@
+//! Per-flow receiver metrics matching the columns of the paper's tables:
+//! duration, throughput, message inter-arrival ("delay"), and the
+//! deviation of inter-arrival ("jitter") — overall and for tagged
+//! (must-deliver) messages only.
+
+use serde::{Deserialize, Serialize};
+
+use crate::series::TimeSeries;
+use crate::stats::Welford;
+
+/// Accumulates arrivals at a receiving application.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FlowMetrics {
+    first_arrival_ns: Option<u64>,
+    last_arrival_ns: u64,
+    prev_arrival_ns: Option<u64>,
+    prev_tagged_ns: Option<u64>,
+    bytes: u64,
+    messages: u64,
+    tagged_messages: u64,
+    inter_arrival: Welford,
+    tagged_inter_arrival: Welford,
+    /// Per-message |inter-arrival - mean so far| series for Figures 2/3.
+    jitter_series: TimeSeries,
+    /// One-way latency of each message (send → deliver), seconds.
+    latency: Welford,
+}
+
+impl FlowMetrics {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivered message.
+    ///
+    /// `sent_at_ns` is when the sender emitted it (for one-way latency);
+    /// `tagged` marks must-deliver messages (§3.3 "tagged packets").
+    pub fn on_message(&mut self, now_ns: u64, sent_at_ns: u64, bytes: u64, tagged: bool) {
+        if self.first_arrival_ns.is_none() {
+            self.first_arrival_ns = Some(now_ns);
+        }
+        self.last_arrival_ns = now_ns;
+        self.bytes += bytes;
+        self.messages += 1;
+        self.latency
+            .push((now_ns.saturating_sub(sent_at_ns)) as f64 / 1e9);
+
+        if let Some(prev) = self.prev_arrival_ns {
+            let gap_s = (now_ns - prev) as f64 / 1e9;
+            self.inter_arrival.push(gap_s);
+            // Jitter sample: absolute deviation of this gap from the mean
+            // gap so far, in milliseconds; mirrors the per-packet jitter
+            // plots of Figures 2 and 3.
+            let dev_ms = (gap_s - self.inter_arrival.mean()).abs() * 1e3;
+            self.jitter_series.record(now_ns, dev_ms);
+        }
+        self.prev_arrival_ns = Some(now_ns);
+
+        if tagged {
+            self.tagged_messages += 1;
+            if let Some(prev) = self.prev_tagged_ns {
+                self.tagged_inter_arrival.push((now_ns - prev) as f64 / 1e9);
+            }
+            self.prev_tagged_ns = Some(now_ns);
+        }
+    }
+
+    /// Seconds from first to last arrival.
+    pub fn duration_s(&self) -> f64 {
+        match self.first_arrival_ns {
+            Some(first) => (self.last_arrival_ns - first) as f64 / 1e9,
+            None => 0.0,
+        }
+    }
+
+    /// Average goodput in KB/s over the active period.
+    pub fn throughput_kbps(&self) -> f64 {
+        let d = self.duration_s();
+        if d <= 0.0 {
+            return 0.0;
+        }
+        self.bytes as f64 / 1000.0 / d
+    }
+
+    /// Total delivered messages.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Delivered messages that were tagged.
+    pub fn tagged_messages(&self) -> u64 {
+        self.tagged_messages
+    }
+
+    /// Total delivered bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Mean message inter-arrival in seconds (the tables' "Inter-arrival"
+    /// / "Delay" column).
+    pub fn inter_arrival_s(&self) -> f64 {
+        self.inter_arrival.mean()
+    }
+
+    /// Standard deviation of inter-arrival in seconds (the "Jitter"
+    /// column).
+    pub fn jitter_s(&self) -> f64 {
+        self.inter_arrival.stddev()
+    }
+
+    /// Mean inter-arrival of tagged messages, seconds.
+    pub fn tagged_inter_arrival_s(&self) -> f64 {
+        self.tagged_inter_arrival.mean()
+    }
+
+    /// Standard deviation of tagged inter-arrival, seconds.
+    pub fn tagged_jitter_s(&self) -> f64 {
+        self.tagged_inter_arrival.stddev()
+    }
+
+    /// Mean one-way message latency, seconds.
+    pub fn latency_s(&self) -> f64 {
+        self.latency.mean()
+    }
+
+    /// The per-message jitter series (Figures 2/3).
+    pub fn jitter_series(&self) -> &TimeSeries {
+        &self.jitter_series
+    }
+
+    /// Percentage of `offered` messages that were delivered.
+    pub fn delivered_pct(&self, offered: u64) -> f64 {
+        if offered == 0 {
+            return 0.0;
+        }
+        100.0 * self.messages as f64 / offered as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn uniform_arrivals_have_zero_jitter() {
+        let mut m = FlowMetrics::new();
+        for i in 0..10u64 {
+            m.on_message(i * 10 * MS, i * 10 * MS, 1000, false);
+        }
+        assert_eq!(m.messages(), 10);
+        assert!((m.inter_arrival_s() - 0.010).abs() < 1e-9);
+        assert!(m.jitter_s() < 1e-9);
+        assert!((m.duration_s() - 0.090).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_counts_bytes_over_duration() {
+        let mut m = FlowMetrics::new();
+        m.on_message(0, 0, 50_000, false);
+        m.on_message(1_000 * MS, 0, 50_000, false);
+        // 100 KB over 1 s.
+        assert!((m.throughput_kbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tagged_stats_are_separate() {
+        let mut m = FlowMetrics::new();
+        // Tagged every 20 ms, untagged in between.
+        for i in 0..20u64 {
+            m.on_message(i * 10 * MS, 0, 100, i % 2 == 0);
+        }
+        assert_eq!(m.tagged_messages(), 10);
+        assert!((m.tagged_inter_arrival_s() - 0.020).abs() < 1e-9);
+        assert!((m.inter_arrival_s() - 0.010).abs() < 1e-9);
+    }
+
+    #[test]
+    fn jitter_series_tracks_irregularity() {
+        let mut m = FlowMetrics::new();
+        let times = [0u64, 10, 20, 60, 70, 80]; // one 40 ms gap
+        for &t in &times {
+            m.on_message(t * MS, 0, 100, false);
+        }
+        assert_eq!(m.jitter_series().len(), times.len() - 1);
+        let peak = m
+            .jitter_series()
+            .values()
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(peak > 10.0, "the 40 ms gap should spike jitter, got {peak}");
+    }
+
+    #[test]
+    fn delivered_pct() {
+        let mut m = FlowMetrics::new();
+        m.on_message(0, 0, 1, false);
+        m.on_message(1, 0, 1, false);
+        assert!((m.delivered_pct(4) - 50.0).abs() < 1e-9);
+        assert_eq!(m.delivered_pct(0), 0.0);
+    }
+
+    #[test]
+    fn latency_uses_sent_timestamps() {
+        let mut m = FlowMetrics::new();
+        m.on_message(30 * MS, 0, 1, false);
+        m.on_message(60 * MS, 20 * MS, 1, false);
+        // Latencies 30 ms and 40 ms → mean 35 ms.
+        assert!((m.latency_s() - 0.035).abs() < 1e-9);
+    }
+}

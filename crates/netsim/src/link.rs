@@ -1,0 +1,422 @@
+//! Unidirectional links with rate, propagation delay, and drop-tail queues.
+//!
+//! A link models the classic store-and-forward pipeline: packets wait in a
+//! bounded FIFO queue, are serialized one at a time at the link rate, then
+//! propagate for a fixed delay before arriving at the far end. When the
+//! queue is full an arriving packet is dropped (drop-tail), which is the
+//! loss model of the paper's EMULAB bottleneck.
+//!
+//! An optional random-loss and reordering model supports failure-injection
+//! tests that exercise retransmission paths independently of congestion.
+
+use std::collections::VecDeque;
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::packet::{NodeId, Packet};
+use crate::time::{Time, TimeDelta};
+
+/// Active queue management discipline for a link's output queue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueueDiscipline {
+    /// Drop arriving packets only when the queue is full (the paper's
+    /// EMULAB router behaviour and the default everywhere).
+    DropTail,
+    /// Random Early Detection: probabilistic drops ramp up between the
+    /// thresholds of the *averaged* queue size, signalling congestion
+    /// before the buffer overflows.
+    Red(RedParams),
+}
+
+/// RED tunables (Floyd & Jacobson defaults scaled to byte queues).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RedParams {
+    /// Averaged queue size below which nothing is dropped, bytes.
+    pub min_th_bytes: u32,
+    /// Averaged queue size above which everything is dropped, bytes.
+    pub max_th_bytes: u32,
+    /// Drop probability as the average reaches `max_th_bytes`.
+    pub max_p: f64,
+    /// EWMA weight for the averaged queue size.
+    pub weight: f64,
+}
+
+impl RedParams {
+    /// Conventional parameters for a queue of `capacity` bytes:
+    /// thresholds at 25 % / 75 %, `max_p` 0.1, weight 0.002.
+    pub fn for_capacity(capacity: u32) -> Self {
+        Self {
+            min_th_bytes: capacity / 4,
+            max_th_bytes: capacity * 3 / 4,
+            max_p: 0.1,
+            weight: 0.002,
+        }
+    }
+}
+
+/// Immutable link configuration.
+#[derive(Debug, Clone)]
+pub struct LinkSpec {
+    /// Transmission rate in bits per second. `<= 0` means infinitely fast.
+    pub rate_bps: f64,
+    /// One-way propagation delay.
+    pub delay: TimeDelta,
+    /// Queue capacity in bytes. Packets that would overflow are dropped.
+    pub queue_bytes: u32,
+    /// Independent probability of losing each packet after transmission
+    /// (failure injection; `0.0` for a clean link).
+    pub random_loss: f64,
+    /// Extra jitter bound added uniformly to propagation (failure
+    /// injection; can reorder packets when non-zero).
+    pub jitter: TimeDelta,
+    /// Queue management discipline.
+    pub discipline: QueueDiscipline,
+}
+
+impl LinkSpec {
+    /// A clean link with the given rate, delay, and queue size.
+    pub fn new(rate_bps: f64, delay: TimeDelta, queue_bytes: u32) -> Self {
+        Self {
+            rate_bps,
+            delay,
+            queue_bytes,
+            random_loss: 0.0,
+            jitter: 0,
+            discipline: QueueDiscipline::DropTail,
+        }
+    }
+
+    /// Switches the queue to RED with the given parameters.
+    pub fn with_red(mut self, params: RedParams) -> Self {
+        self.discipline = QueueDiscipline::Red(params);
+        self
+    }
+
+    /// Adds an independent per-packet loss probability.
+    pub fn with_random_loss(mut self, p: f64) -> Self {
+        self.random_loss = p.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Adds uniform propagation jitter in `[0, jitter]`.
+    pub fn with_jitter(mut self, jitter: TimeDelta) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Queue capacity sized to one bandwidth-delay product of `rtt`,
+    /// the conventional router buffer rule used for the experiments.
+    pub fn with_bdp_queue(mut self, rtt: TimeDelta) -> Self {
+        let bdp = self.rate_bps * (rtt as f64 / crate::time::SECOND as f64) / 8.0;
+        self.queue_bytes = bdp.max(3000.0) as u32;
+        self
+    }
+}
+
+/// Per-link counters exposed for experiment reporting and tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LinkStats {
+    /// Packets accepted into the queue.
+    pub enqueued_packets: u64,
+    /// Bytes accepted into the queue.
+    pub enqueued_bytes: u64,
+    /// Packets lost to drop-tail (queue-full) drops.
+    pub dropped_packets: u64,
+    /// Bytes lost to drop-tail.
+    pub dropped_bytes: u64,
+    /// Packets lost to the random-loss failure model.
+    pub random_losses: u64,
+    /// Packets dropped early by RED (before the queue was full).
+    pub red_drops: u64,
+    /// Packets fully serialized onto the wire.
+    pub transmitted_packets: u64,
+    /// Bytes fully serialized onto the wire.
+    pub transmitted_bytes: u64,
+    /// Maximum queue occupancy observed, in bytes.
+    pub peak_queue_bytes: u32,
+}
+
+/// Mutable state of a link inside the simulator.
+#[derive(Debug)]
+pub struct LinkState {
+    /// Immutable configuration.
+    pub spec: LinkSpec,
+    /// Transmitting end.
+    pub from: NodeId,
+    /// Receiving end.
+    pub to: NodeId,
+    queue: VecDeque<Packet>,
+    queued_bytes: u32,
+    /// RED's exponentially averaged queue size, bytes.
+    avg_queue: f64,
+    /// Whether the transmitter is currently serializing a packet.
+    busy: bool,
+    /// Running counters.
+    pub stats: LinkStats,
+}
+
+/// Result of offering a packet to a link queue.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Enqueue {
+    /// Queued; transmitter already busy, nothing to schedule.
+    Queued,
+    /// Queued and the transmitter was idle: caller must start transmission.
+    StartTx,
+    /// Dropped by drop-tail.
+    Dropped,
+}
+
+impl LinkState {
+    /// Creates an idle link with empty queue.
+    pub fn new(spec: LinkSpec, from: NodeId, to: NodeId) -> Self {
+        Self {
+            spec,
+            from,
+            to,
+            queue: VecDeque::new(),
+            queued_bytes: 0,
+            avg_queue: 0.0,
+            busy: false,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Current queue occupancy in bytes (excluding the packet in
+    /// serialization).
+    pub fn queued_bytes(&self) -> u32 {
+        self.queued_bytes
+    }
+
+    /// Number of packets waiting (excluding the packet in serialization).
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the transmitter is serializing a packet.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Offers a packet to the queue, applying the configured discipline.
+    pub fn enqueue(&mut self, pkt: Packet, rng: &mut SmallRng) -> Enqueue {
+        let sz = pkt.size;
+        // RED early drop, evaluated on the averaged queue size.
+        if let QueueDiscipline::Red(red) = self.spec.discipline {
+            self.avg_queue =
+                (1.0 - red.weight) * self.avg_queue + red.weight * f64::from(self.queued_bytes);
+            let drop_p = if self.avg_queue < f64::from(red.min_th_bytes) {
+                0.0
+            } else if self.avg_queue >= f64::from(red.max_th_bytes) {
+                1.0
+            } else {
+                red.max_p * (self.avg_queue - f64::from(red.min_th_bytes))
+                    / f64::from(red.max_th_bytes - red.min_th_bytes)
+            };
+            if drop_p > 0.0 && rng.gen::<f64>() < drop_p {
+                self.stats.red_drops += 1;
+                self.stats.dropped_packets += 1;
+                self.stats.dropped_bytes += u64::from(sz);
+                return Enqueue::Dropped;
+            }
+        }
+        if self.queued_bytes.saturating_add(sz) > self.spec.queue_bytes {
+            self.stats.dropped_packets += 1;
+            self.stats.dropped_bytes += u64::from(sz);
+            return Enqueue::Dropped;
+        }
+        self.queued_bytes += sz;
+        self.stats.enqueued_packets += 1;
+        self.stats.enqueued_bytes += u64::from(sz);
+        self.stats.peak_queue_bytes = self.stats.peak_queue_bytes.max(self.queued_bytes);
+        self.queue.push_back(pkt);
+        if self.busy {
+            Enqueue::Queued
+        } else {
+            self.busy = true;
+            Enqueue::StartTx
+        }
+    }
+
+    /// Takes the next packet for serialization. Caller must have been told
+    /// to start (via [`Enqueue::StartTx`]) or have just finished a
+    /// transmission. Returns `None` when the queue drained, in which case
+    /// the transmitter goes idle.
+    pub fn begin_tx(&mut self) -> Option<Packet> {
+        match self.queue.pop_front() {
+            Some(pkt) => {
+                self.queued_bytes -= pkt.size;
+                self.stats.transmitted_packets += 1;
+                self.stats.transmitted_bytes += u64::from(pkt.size);
+                Some(pkt)
+            }
+            None => {
+                self.busy = false;
+                None
+            }
+        }
+    }
+
+    /// Serialization time for `pkt` on this link.
+    pub fn tx_time(&self, pkt: &Packet) -> TimeDelta {
+        crate::time::transmission_time(pkt.size, self.spec.rate_bps)
+    }
+
+    /// Arrival time at the far end for a transmission finishing at
+    /// `tx_done`, before jitter.
+    pub fn arrival_time(&self, tx_done: Time) -> Time {
+        tx_done + self.spec.delay
+    }
+
+    /// Average utilization given total bytes pushed over `elapsed`.
+    pub fn utilization(&self, elapsed: TimeDelta) -> f64 {
+        if elapsed == 0 || self.spec.rate_bps <= 0.0 {
+            return 0.0;
+        }
+        let secs = elapsed as f64 / crate::time::SECOND as f64;
+        (self.stats.transmitted_bytes as f64 * 8.0) / (self.spec.rate_bps * secs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{payload, Addr, FlowId};
+    use rand::SeedableRng;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    fn pkt(size: u32) -> Packet {
+        Packet {
+            id: 0,
+            src: Addr::new(NodeId(0), 0),
+            dst: Addr::new(NodeId(1), 0),
+            size,
+            flow: FlowId::ANON,
+            sent_at: 0,
+            payload: payload(()),
+        }
+    }
+
+    fn link(queue_bytes: u32) -> LinkState {
+        LinkState::new(
+            LinkSpec::new(8e6, crate::time::millis(1), queue_bytes),
+            NodeId(0),
+            NodeId(1),
+        )
+    }
+
+    #[test]
+    fn first_enqueue_starts_transmitter() {
+        let mut l = link(10_000);
+        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::StartTx);
+        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::Queued);
+        assert!(l.is_busy());
+        assert_eq!(l.queue_len(), 2);
+    }
+
+    #[test]
+    fn drop_tail_on_overflow() {
+        let mut l = link(2500);
+        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::StartTx);
+        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::Queued);
+        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::Dropped);
+        assert_eq!(l.stats.dropped_packets, 1);
+        assert_eq!(l.stats.dropped_bytes, 1000);
+        // A smaller packet that fits is still accepted after a drop.
+        assert_eq!(l.enqueue(pkt(500), &mut rng()), Enqueue::Queued);
+    }
+
+    #[test]
+    fn begin_tx_drains_in_fifo_order_and_idles() {
+        let mut l = link(10_000);
+        let mut a = pkt(100);
+        a.id = 1;
+        let mut b = pkt(200);
+        b.id = 2;
+        l.enqueue(a, &mut rng());
+        l.enqueue(b, &mut rng());
+        assert_eq!(l.begin_tx().unwrap().id, 1);
+        assert_eq!(l.begin_tx().unwrap().id, 2);
+        assert!(l.begin_tx().is_none());
+        assert!(!l.is_busy());
+        assert_eq!(l.queued_bytes(), 0);
+    }
+
+    #[test]
+    fn tx_time_uses_link_rate() {
+        let l = link(10_000);
+        // 1000 bytes at 8 Mb/s = 1 ms.
+        assert_eq!(l.tx_time(&pkt(1000)), crate::time::millis(1));
+    }
+
+    #[test]
+    fn peak_queue_tracked() {
+        let mut l = link(10_000);
+        l.enqueue(pkt(4000), &mut rng());
+        l.enqueue(pkt(4000), &mut rng());
+        assert_eq!(l.stats.peak_queue_bytes, 8000);
+        l.begin_tx();
+        l.begin_tx();
+        assert_eq!(l.stats.peak_queue_bytes, 8000);
+    }
+
+    #[test]
+    fn red_drops_early_when_average_queue_high() {
+        let params = RedParams::for_capacity(10_000);
+        let mut l = LinkState::new(
+            LinkSpec::new(8e6, crate::time::millis(1), 10_000).with_red(RedParams {
+                weight: 0.5, // fast-moving average for the test
+                ..params
+            }),
+            NodeId(0),
+            NodeId(1),
+        );
+        let mut r = rng();
+        // Fill the queue to drive the average well above max_th.
+        let mut dropped = 0;
+        for _ in 0..60 {
+            if l.enqueue(pkt(500), &mut r) == Enqueue::Dropped {
+                dropped += 1;
+            }
+        }
+        assert!(dropped > 0, "RED never dropped");
+        assert!(l.stats.red_drops > 0, "drops were not early drops");
+        // Early drops happen before the buffer is exhausted.
+        assert!(l.queued_bytes() <= l.spec.queue_bytes);
+    }
+
+    #[test]
+    fn red_is_quiet_below_min_threshold() {
+        let mut l = LinkState::new(
+            LinkSpec::new(8e6, crate::time::millis(1), 100_000)
+                .with_red(RedParams::for_capacity(100_000)),
+            NodeId(0),
+            NodeId(1),
+        );
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_ne!(l.enqueue(pkt(500), &mut r), Enqueue::Dropped);
+            l.begin_tx();
+        }
+        assert_eq!(l.stats.red_drops, 0);
+    }
+
+    #[test]
+    fn red_params_for_capacity() {
+        let p = RedParams::for_capacity(100_000);
+        assert_eq!(p.min_th_bytes, 25_000);
+        assert_eq!(p.max_th_bytes, 75_000);
+        assert!(p.max_p > 0.0 && p.max_p < 1.0);
+    }
+
+    #[test]
+    fn bdp_queue_sizing() {
+        let spec = LinkSpec::new(20e6, crate::time::millis(15), 0)
+            .with_bdp_queue(crate::time::millis(30));
+        // 20 Mb/s * 30 ms / 8 = 75,000 bytes.
+        assert_eq!(spec.queue_bytes, 75_000);
+    }
+}

@@ -1,0 +1,147 @@
+//! Packets and addressing.
+//!
+//! A [`Packet`] is the unit of transfer across links. The simulator never
+//! serializes protocol headers to bytes: the wire footprint is modelled by
+//! an explicit [`Packet::size`] while the semantic content travels as a
+//! shared, dynamically-typed [`Payload`]. Protocol crates downcast the
+//! payload to their own segment types on receipt.
+
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::time::Time;
+
+/// Identifies a node (host or router) in the topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub u32);
+
+/// Identifies a unidirectional link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkId(pub u32);
+
+/// Identifies an agent registered with the simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AgentId(pub u32);
+
+/// A transport-level address: a node plus a local port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Node this address lives on.
+    pub node: NodeId,
+    /// Local port distinguishing agents on the same node.
+    pub port: u16,
+}
+
+impl Addr {
+    /// Creates an address from its parts.
+    pub const fn new(node: NodeId, port: u16) -> Self {
+        Self { node, port }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}:{}", self.node.0, self.port)
+    }
+}
+
+/// Distinguishes traffic belonging to different flows for per-flow
+/// accounting in link traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowId(pub u32);
+
+impl FlowId {
+    /// Catch-all flow for traffic that does not care about accounting.
+    pub const ANON: FlowId = FlowId(u32::MAX);
+}
+
+/// Dynamically-typed packet content, shared so that a packet can be
+/// duplicated (e.g. by a lossy-duplication link model) without copying.
+pub type Payload = Arc<dyn Any + Send + Sync>;
+
+/// Builds a payload from any sendable value.
+pub fn payload<T: Any + Send + Sync>(value: T) -> Payload {
+    Arc::new(value)
+}
+
+/// A packet in flight.
+#[derive(Clone)]
+pub struct Packet {
+    /// Unique id assigned at send time; stable across hops.
+    pub id: u64,
+    /// Sender address.
+    pub src: Addr,
+    /// Destination address.
+    pub dst: Addr,
+    /// Wire size in bytes, including all modelled headers. This is what
+    /// occupies queue space and serialization time.
+    pub size: u32,
+    /// Flow this packet is accounted to.
+    pub flow: FlowId,
+    /// Simulation time at which the original sender emitted the packet.
+    pub sent_at: Time,
+    /// Semantic content (protocol segment, app frame, ...).
+    pub payload: Payload,
+}
+
+impl Packet {
+    /// Attempts to view the payload as a `T`.
+    pub fn payload_as<T: Any>(&self) -> Option<&T> {
+        self.payload.downcast_ref::<T>()
+    }
+}
+
+impl fmt::Debug for Packet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Packet")
+            .field("id", &self.id)
+            .field("src", &self.src)
+            .field("dst", &self.dst)
+            .field("size", &self.size)
+            .field("flow", &self.flow)
+            .field("sent_at", &self.sent_at)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn payload_downcast_works() {
+        let p = Packet {
+            id: 1,
+            src: Addr::new(NodeId(0), 1),
+            dst: Addr::new(NodeId(1), 2),
+            size: 100,
+            flow: FlowId(7),
+            sent_at: 0,
+            payload: payload(42u64),
+        };
+        assert_eq!(p.payload_as::<u64>(), Some(&42));
+        assert_eq!(p.payload_as::<u32>(), None);
+    }
+
+    #[test]
+    fn addr_display() {
+        assert_eq!(Addr::new(NodeId(3), 9).to_string(), "n3:9");
+    }
+
+    #[test]
+    fn clone_shares_payload() {
+        let p = Packet {
+            id: 1,
+            src: Addr::new(NodeId(0), 1),
+            dst: Addr::new(NodeId(1), 2),
+            size: 100,
+            flow: FlowId::ANON,
+            sent_at: 5,
+            payload: payload(String::from("hello")),
+        };
+        let q = p.clone();
+        assert!(Arc::ptr_eq(&p.payload, &q.payload));
+        assert_eq!(q.payload_as::<String>().unwrap(), "hello");
+    }
+}

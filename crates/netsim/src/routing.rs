@@ -1,0 +1,120 @@
+//! Static shortest-path routing.
+//!
+//! Routes are computed once from the link graph with a breadth-first
+//! search (hop-count metric), which is sufficient for the dumbbell and
+//! chain topologies used by the experiments. The table maps
+//! `(from_node, dst_node)` to the outgoing [`LinkId`] of the first hop.
+
+use std::collections::VecDeque;
+
+use crate::packet::{LinkId, NodeId};
+
+/// Next-hop table: `table[from][dst]` is the outgoing link, if reachable.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    num_nodes: usize,
+    /// Flattened `num_nodes x num_nodes` matrix.
+    next_hop: Vec<Option<LinkId>>,
+}
+
+impl RoutingTable {
+    /// Computes shortest-hop routes given each link's `(from, to)`.
+    pub fn compute(num_nodes: usize, links: &[(NodeId, NodeId)]) -> Self {
+        // Adjacency: per node, outgoing (link, neighbour).
+        let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); num_nodes];
+        for (i, &(from, to)) in links.iter().enumerate() {
+            adj[from.0 as usize].push((LinkId(i as u32), to));
+        }
+
+        let mut next_hop = vec![None; num_nodes * num_nodes];
+        // BFS from every destination is O(N * (N + E)); topologies here
+        // have a handful of nodes so simplicity wins.
+        for src in 0..num_nodes {
+            let mut dist = vec![u32::MAX; num_nodes];
+            let mut first_link = vec![None; num_nodes];
+            dist[src] = 0;
+            let mut q = VecDeque::new();
+            q.push_back(NodeId(src as u32));
+            while let Some(u) = q.pop_front() {
+                for &(link, v) in &adj[u.0 as usize] {
+                    if dist[v.0 as usize] == u32::MAX {
+                        dist[v.0 as usize] = dist[u.0 as usize] + 1;
+                        first_link[v.0 as usize] = if u.0 as usize == src {
+                            Some(link)
+                        } else {
+                            first_link[u.0 as usize]
+                        };
+                        q.push_back(v);
+                    }
+                }
+            }
+            for dst in 0..num_nodes {
+                next_hop[src * num_nodes + dst] = first_link[dst];
+            }
+        }
+        Self { num_nodes, next_hop }
+    }
+
+    /// First-hop link from `from` toward `dst`. `None` when unreachable or
+    /// when `from == dst` (local delivery needs no link).
+    pub fn next_hop(&self, from: NodeId, dst: NodeId) -> Option<LinkId> {
+        if from == dst {
+            return None;
+        }
+        self.next_hop
+            .get(from.0 as usize * self.num_nodes + dst.0 as usize)
+            .copied()
+            .flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_routes_forward_and_backward() {
+        // 0 <-> 1 <-> 2 as two unidirectional links each way.
+        let links = vec![
+            (NodeId(0), NodeId(1)), // L0
+            (NodeId(1), NodeId(0)), // L1
+            (NodeId(1), NodeId(2)), // L2
+            (NodeId(2), NodeId(1)), // L3
+        ];
+        let t = RoutingTable::compute(3, &links);
+        assert_eq!(t.next_hop(NodeId(0), NodeId(2)), Some(LinkId(0)));
+        assert_eq!(t.next_hop(NodeId(1), NodeId(2)), Some(LinkId(2)));
+        assert_eq!(t.next_hop(NodeId(2), NodeId(0)), Some(LinkId(3)));
+        assert_eq!(t.next_hop(NodeId(1), NodeId(0)), Some(LinkId(1)));
+    }
+
+    #[test]
+    fn local_delivery_has_no_hop() {
+        let t = RoutingTable::compute(2, &[(NodeId(0), NodeId(1))]);
+        assert_eq!(t.next_hop(NodeId(0), NodeId(0)), None);
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let t = RoutingTable::compute(3, &[(NodeId(0), NodeId(1))]);
+        assert_eq!(t.next_hop(NodeId(1), NodeId(0)), None);
+        assert_eq!(t.next_hop(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    fn dumbbell_routes_through_bottleneck() {
+        // Hosts 0,1 -> router 2 == router 3 -> hosts 4,5.
+        let mut links = Vec::new();
+        for (a, b) in [(0u32, 2u32), (1, 2), (2, 3), (3, 4), (3, 5)] {
+            links.push((NodeId(a), NodeId(b)));
+            links.push((NodeId(b), NodeId(a)));
+        }
+        let t = RoutingTable::compute(6, &links);
+        // 0 -> 4 goes via its access link (index 0).
+        assert_eq!(t.next_hop(NodeId(0), NodeId(4)), Some(LinkId(0)));
+        // Router 2 forwards to router 3 over the bottleneck (index 4).
+        assert_eq!(t.next_hop(NodeId(2), NodeId(4)), Some(LinkId(4)));
+        // Reverse path exists.
+        assert!(t.next_hop(NodeId(4), NodeId(0)).is_some());
+    }
+}

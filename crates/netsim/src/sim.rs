@@ -1,0 +1,701 @@
+//! The simulator: topology construction, event loop, and dispatch.
+
+use std::collections::{BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::agent::{Agent, Ctx, TimerId};
+use crate::event::{Event, EventKind};
+use crate::link::{Enqueue, LinkSpec, LinkState, LinkStats};
+use crate::packet::{Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
+use crate::routing::RoutingTable;
+use crate::time::{Time, TimeDelta};
+use crate::trace::{PacketEvent, PacketEventKind, TraceCollector};
+
+/// Simulation-wide counters, mostly for tests and sanity checks.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimCounters {
+    /// Packets injected by agents.
+    pub packets_sent: u64,
+    /// Packets handed to a destination agent.
+    pub packets_delivered: u64,
+    /// Packets that arrived at a node with no agent on the destination port.
+    pub packets_unroutable: u64,
+    /// Total events executed.
+    pub events_processed: u64,
+    /// Timer events that fired (cancelled ones excluded).
+    pub timers_fired: u64,
+}
+
+/// Everything the simulator owns except the agent table. Split out so a
+/// [`Ctx`] can borrow the world mutably while one agent is being invoked.
+pub struct SimCore {
+    pub(crate) now: Time,
+    heap: BinaryHeap<Event>,
+    next_seq: u64,
+    next_packet_id: u64,
+    next_timer_id: u64,
+    cancelled_timers: HashSet<u64>,
+    pub(crate) links: Vec<LinkState>,
+    num_nodes: u32,
+    routes: RoutingTable,
+    routes_dirty: bool,
+    port_map: HashMap<Addr, AgentId>,
+    pub(crate) rng: SmallRng,
+    /// Running counters.
+    pub counters: SimCounters,
+    /// Per-flow accounting and optional packet log.
+    pub trace: TraceCollector,
+    pub(crate) stopped: bool,
+}
+
+impl SimCore {
+    fn schedule(&mut self, at: Time, kind: EventKind) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Event { at, seq, kind });
+    }
+
+    pub(crate) fn set_timer(&mut self, addr: Addr, delay: TimeDelta, token: u64) -> TimerId {
+        let timer_id = self.next_timer_id;
+        self.next_timer_id += 1;
+        let agent = *self
+            .port_map
+            .get(&addr)
+            .expect("timer set by unregistered agent");
+        self.schedule(
+            self.now.saturating_add(delay),
+            EventKind::Timer {
+                agent,
+                token,
+                timer_id,
+            },
+        );
+        TimerId(timer_id)
+    }
+
+    pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.cancelled_timers.insert(id.0);
+    }
+
+    /// Injects a packet from `src` toward `dst`, routing it over the
+    /// topology (or looping back locally when both are on the same node).
+    pub(crate) fn send_from(
+        &mut self,
+        src: Addr,
+        dst: Addr,
+        size: u32,
+        flow: FlowId,
+        payload: Payload,
+    ) -> u64 {
+        let id = self.next_packet_id;
+        self.next_packet_id += 1;
+        self.counters.packets_sent += 1;
+        self.trace.record(PacketEvent {
+            at: self.now,
+            packet_id: id,
+            flow,
+            size,
+            kind: PacketEventKind::Sent,
+        });
+        let pkt = Packet {
+            id,
+            src,
+            dst,
+            size,
+            flow,
+            sent_at: self.now,
+            payload,
+        };
+        self.route_packet(src.node, pkt);
+        id
+    }
+
+    /// Routes `pkt` sitting at `node`: local delivery or next-hop enqueue.
+    fn route_packet(&mut self, node: NodeId, pkt: Packet) {
+        if pkt.dst.node == node {
+            match self.port_map.get(&pkt.dst) {
+                Some(&agent) => {
+                    self.trace.record(PacketEvent {
+                        at: self.now,
+                        packet_id: pkt.id,
+                        flow: pkt.flow,
+                        size: pkt.size,
+                        kind: PacketEventKind::Delivered,
+                    });
+                    self.schedule(self.now, EventKind::Deliver { agent, packet: pkt })
+                }
+                None => self.counters.packets_unroutable += 1,
+            }
+            return;
+        }
+        match self.routes.next_hop(node, pkt.dst.node) {
+            Some(link_id) => {
+                let link = &mut self.links[link_id.0 as usize];
+                let (id, flow, size) = (pkt.id, pkt.flow, pkt.size);
+                match link.enqueue(pkt, &mut self.rng) {
+                    Enqueue::StartTx => self.start_next_tx(link_id),
+                    Enqueue::Queued => {}
+                    Enqueue::Dropped => self.trace.record(PacketEvent {
+                        at: self.now,
+                        packet_id: id,
+                        flow,
+                        size,
+                        kind: PacketEventKind::DroppedAtQueue(link_id),
+                    }),
+                }
+            }
+            None => self.counters.packets_unroutable += 1,
+        }
+    }
+
+    /// Pops the head of `link`'s queue and schedules its serialization
+    /// and far-end arrival, applying the link's loss/jitter model.
+    fn start_next_tx(&mut self, link_id: LinkId) {
+        let link = &mut self.links[link_id.0 as usize];
+        let Some(pkt) = link.begin_tx() else {
+            return; // transmitter went idle
+        };
+        let tx_done = self.now + link.tx_time(&pkt);
+        let mut arrival = link.arrival_time(tx_done);
+        let lost = link.spec.random_loss > 0.0 && self.rng.gen::<f64>() < link.spec.random_loss;
+        if link.spec.jitter > 0 {
+            arrival += self.rng.gen_range(0..=link.spec.jitter);
+        }
+        if lost {
+            self.links[link_id.0 as usize].stats.random_losses += 1;
+            self.trace.record(PacketEvent {
+                at: self.now,
+                packet_id: pkt.id,
+                flow: pkt.flow,
+                size: pkt.size,
+                kind: PacketEventKind::LostRandom(link_id),
+            });
+        } else {
+            self.schedule(
+                arrival,
+                EventKind::LinkArrival {
+                    link: link_id,
+                    packet: pkt,
+                },
+            );
+        }
+        self.schedule(tx_done, EventKind::LinkTxDone { link: link_id });
+    }
+}
+
+/// A discrete-event network simulation: topology + agents + event loop.
+pub struct Simulator {
+    core: SimCore,
+    /// Agent table; entries are `None` only while the agent is being
+    /// invoked (its `Box` is temporarily moved out to satisfy borrowck).
+    agents: Vec<Option<Box<dyn Agent>>>,
+    agent_addrs: Vec<Addr>,
+}
+
+impl Simulator {
+    /// Creates an empty simulation with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            core: SimCore {
+                now: 0,
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                next_packet_id: 0,
+                next_timer_id: 0,
+                cancelled_timers: HashSet::new(),
+                links: Vec::new(),
+                num_nodes: 0,
+                routes: RoutingTable::default(),
+                routes_dirty: false,
+                port_map: HashMap::new(),
+                rng: SmallRng::seed_from_u64(seed),
+                counters: SimCounters::default(),
+                trace: TraceCollector::default(),
+                stopped: false,
+            },
+            agents: Vec::new(),
+            agent_addrs: Vec::new(),
+        }
+    }
+
+    /// Adds a node (host or router) and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId(self.core.num_nodes);
+        self.core.num_nodes += 1;
+        self.core.routes_dirty = true;
+        id
+    }
+
+    /// Adds a unidirectional link.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.core.links.len() as u32);
+        self.core.links.push(LinkState::new(spec, from, to));
+        self.core.routes_dirty = true;
+        id
+    }
+
+    /// Adds a pair of unidirectional links with identical characteristics.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, spec.clone());
+        let ba = self.add_link(b, a, spec);
+        (ab, ba)
+    }
+
+    /// Registers an agent at `(node, port)` and schedules its start.
+    ///
+    /// # Panics
+    /// Panics if the address is already taken.
+    pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> AgentId {
+        let addr = Addr::new(node, port);
+        let id = AgentId(self.agents.len() as u32);
+        let prev = self.core.port_map.insert(addr, id);
+        assert!(prev.is_none(), "address {addr} already has an agent");
+        self.agents.push(Some(agent));
+        self.agent_addrs.push(addr);
+        self.core.schedule(self.core.now, EventKind::Start { agent: id });
+        id
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> Time {
+        self.core.now
+    }
+
+    /// Simulation-wide counters.
+    pub fn counters(&self) -> SimCounters {
+        self.core.counters
+    }
+
+    /// Stats for one link.
+    pub fn link_stats(&self, id: LinkId) -> LinkStats {
+        self.core.links[id.0 as usize].stats
+    }
+
+    /// Ground-truth counters for one flow.
+    pub fn flow_stats(&self, flow: FlowId) -> crate::trace::FlowStats {
+        self.core.trace.flow(flow)
+    }
+
+    /// Enables the bounded packet event log.
+    pub fn enable_packet_log(&mut self, capacity: usize) {
+        self.core.trace.enable_log(capacity);
+    }
+
+    /// The recorded packet events (empty unless enabled).
+    pub fn packet_log(&self) -> &[crate::trace::PacketEvent] {
+        self.core.trace.log()
+    }
+
+    /// Immutable access to a concrete agent type (post-run inspection).
+    pub fn agent<T: Agent>(&self, id: AgentId) -> Option<&T> {
+        let boxed = self.agents[id.0 as usize].as_ref()?;
+        (boxed.as_ref() as &dyn std::any::Any).downcast_ref::<T>()
+    }
+
+    /// Mutable access to a concrete agent type.
+    pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
+        let boxed = self.agents[id.0 as usize].as_mut()?;
+        (boxed.as_mut() as &mut dyn std::any::Any).downcast_mut::<T>()
+    }
+
+    fn ensure_routes(&mut self) {
+        if self.core.routes_dirty {
+            let endpoints: Vec<_> = self.core.links.iter().map(|l| (l.from, l.to)).collect();
+            self.core.routes = RoutingTable::compute(self.core.num_nodes as usize, &endpoints);
+            self.core.routes_dirty = false;
+        }
+    }
+
+    fn dispatch(&mut self, agent: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
+        let slot = &mut self.agents[agent.0 as usize];
+        let Some(mut boxed) = slot.take() else {
+            // Re-entrant dispatch cannot happen in a single-threaded loop;
+            // a missing agent means it was removed.
+            return;
+        };
+        let addr = self.agent_addrs[agent.0 as usize];
+        {
+            let mut ctx = Ctx {
+                core: &mut self.core,
+                addr,
+            };
+            f(boxed.as_mut(), &mut ctx);
+        }
+        self.agents[agent.0 as usize] = Some(boxed);
+    }
+
+    /// Executes a single event. Returns `false` when the heap is empty.
+    fn step(&mut self) -> bool {
+        let Some(ev) = self.core.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.core.now, "time went backwards");
+        self.core.now = ev.at;
+        self.core.counters.events_processed += 1;
+        match ev.kind {
+            EventKind::Start { agent } => {
+                self.dispatch(agent, |a, ctx| a.on_start(ctx));
+            }
+            EventKind::Deliver { agent, packet } => {
+                self.core.counters.packets_delivered += 1;
+                self.dispatch(agent, |a, ctx| a.on_packet(ctx, packet));
+            }
+            EventKind::Timer {
+                agent,
+                token,
+                timer_id,
+            } => {
+                if !self.core.cancelled_timers.remove(&timer_id) {
+                    self.core.counters.timers_fired += 1;
+                    self.dispatch(agent, |a, ctx| a.on_timer(ctx, token));
+                }
+            }
+            EventKind::LinkTxDone { link } => {
+                self.core.start_next_tx(link);
+            }
+            EventKind::LinkArrival { link, packet } => {
+                let node = self.core.links[link.0 as usize].to;
+                self.core.route_packet(node, packet);
+            }
+        }
+        true
+    }
+
+    /// Runs until the event queue drains, `deadline` passes, or an agent
+    /// stops the simulation. Returns the time the loop stopped at.
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        self.ensure_routes();
+        self.core.stopped = false;
+        while !self.core.stopped {
+            match self.core.heap.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.step();
+                }
+                _ => break,
+            }
+        }
+        if !self.core.stopped {
+            // All remaining events lie beyond the deadline, so the clock
+            // can jump straight to it.
+            self.core.now = self.core.now.max(deadline);
+        }
+        self.core.now
+    }
+
+    /// Runs for an additional `delta` of simulated time.
+    pub fn run_for(&mut self, delta: TimeDelta) -> Time {
+        let deadline = self.core.now.saturating_add(delta);
+        self.run_until(deadline)
+    }
+
+    /// Runs until the event queue is exhausted or an agent stops the
+    /// simulation (useful for closed workloads that terminate).
+    pub fn run_to_completion(&mut self) -> Time {
+        self.ensure_routes();
+        self.core.stopped = false;
+        while !self.core.stopped && self.step() {}
+        self.core.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::link::LinkSpec;
+    use crate::packet::payload;
+    use crate::time::{millis, MILLISECOND};
+
+    /// Sends `count` packets to a destination at start, one per ms.
+    struct Blaster {
+        dst: Addr,
+        count: u32,
+        size: u32,
+        sent: u32,
+    }
+    impl Agent for Blaster {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(0, 0);
+        }
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.sent < self.count {
+                ctx.send(self.dst, self.size, FlowId(1), payload(self.sent));
+                self.sent += 1;
+                ctx.set_timer(MILLISECOND, 0);
+            }
+        }
+    }
+
+    /// Records arrival times and payload order.
+    #[derive(Default)]
+    struct Recorder {
+        arrivals: Vec<(Time, u32)>,
+    }
+    impl Agent for Recorder {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            let v = *pkt.payload_as::<u32>().unwrap();
+            self.arrivals.push((ctx.now(), v));
+        }
+    }
+
+    fn two_node_sim(spec: LinkSpec) -> (Simulator, AgentId, AgentId) {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, spec);
+        let tx = sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                dst: Addr::new(b, 2),
+                count: 10,
+                size: 1000,
+                sent: 0,
+            }),
+        );
+        let rx = sim.add_agent(b, 2, Box::new(Recorder::default()));
+        (sim, tx, rx)
+    }
+
+    #[test]
+    fn packets_arrive_in_order_with_correct_latency() {
+        // 8 Mb/s, 5 ms delay: 1000 B takes 1 ms to serialize, arrives 6 ms
+        // after send.
+        let (mut sim, _tx, rx) = two_node_sim(LinkSpec::new(8e6, millis(5), 100_000));
+        sim.run_until(millis(100));
+        let rec = sim.agent::<Recorder>(rx).unwrap();
+        assert_eq!(rec.arrivals.len(), 10);
+        assert_eq!(rec.arrivals[0].0, millis(6));
+        // Sent 1 ms apart, serialization is exactly 1 ms: no queueing.
+        assert_eq!(rec.arrivals[1].0, millis(7));
+        let order: Vec<u32> = rec.arrivals.iter().map(|&(_, v)| v).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn queueing_delay_accumulates_when_oversubscribed() {
+        // 4 Mb/s: 1000 B takes 2 ms to serialize but packets arrive every
+        // 1 ms, so queueing builds up linearly.
+        let (mut sim, _tx, rx) = two_node_sim(LinkSpec::new(4e6, millis(5), 100_000));
+        sim.run_until(millis(200));
+        let rec = sim.agent::<Recorder>(rx).unwrap();
+        assert_eq!(rec.arrivals.len(), 10);
+        // Packet i departs the sender at i ms, but serialization slots are
+        // back-to-back every 2 ms: arrival_i = (i+1)*2 + 5.
+        for (i, &(t, _)) in rec.arrivals.iter().enumerate() {
+            assert_eq!(t, millis((i as u64 + 1) * 2 + 5));
+        }
+    }
+
+    #[test]
+    fn drop_tail_loses_excess_packets() {
+        // Queue fits only 2 packets; 10 arrive nearly back-to-back.
+        let (mut sim, _tx, rx) = two_node_sim(LinkSpec::new(1e6, millis(5), 2000));
+        sim.run_until(millis(500));
+        let rec = sim.agent::<Recorder>(rx).unwrap();
+        assert!(rec.arrivals.len() < 10, "expected drops");
+        let stats = sim.link_stats(LinkId(0));
+        assert_eq!(
+            stats.dropped_packets + rec.arrivals.len() as u64,
+            10,
+            "dropped + delivered = sent"
+        );
+    }
+
+    #[test]
+    fn random_loss_drops_roughly_the_configured_fraction() {
+        let mut sim = Simulator::new(42);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(100e6, millis(1), 1_000_000).with_random_loss(0.3));
+        let _tx = sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                dst: Addr::new(b, 2),
+                count: 1000,
+                size: 100,
+                sent: 0,
+            }),
+        );
+        let rx = sim.add_agent(b, 2, Box::new(Recorder::default()));
+        sim.run_until(crate::time::secs(5.0));
+        let got = sim.agent::<Recorder>(rx).unwrap().arrivals.len();
+        assert!((600..=800).contains(&got), "got {got}, expected ~700");
+    }
+
+    #[test]
+    fn local_delivery_loops_back_without_links() {
+        struct SelfSender;
+        impl Agent for SelfSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = ctx.addr();
+                ctx.send(Addr::new(me.node, 99), 10, FlowId::ANON, payload(7u32));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        }
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(n, 1, Box::new(SelfSender));
+        let rx = sim.add_agent(n, 99, Box::new(Recorder::default()));
+        sim.run_until(millis(1));
+        assert_eq!(sim.agent::<Recorder>(rx).unwrap().arrivals.len(), 1);
+    }
+
+    #[test]
+    fn cancelled_timers_do_not_fire() {
+        struct Canceller {
+            fired: u32,
+        }
+        impl Agent for Canceller {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let t = ctx.set_timer(millis(10), 1);
+                ctx.set_timer(millis(20), 2);
+                ctx.cancel_timer(t);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, _ctx: &mut Ctx<'_>, token: u64) {
+                assert_eq!(token, 2, "cancelled timer fired");
+                self.fired += 1;
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        let a = sim.add_agent(n, 1, Box::new(Canceller { fired: 0 }));
+        sim.run_until(millis(100));
+        assert_eq!(sim.agent::<Canceller>(a).unwrap().fired, 1);
+    }
+
+    #[test]
+    fn identical_seeds_give_identical_runs() {
+        let run = |seed| {
+            let mut sim = Simulator::new(seed);
+            let a = sim.add_node();
+            let b = sim.add_node();
+            sim.add_duplex_link(
+                a,
+                b,
+                LinkSpec::new(10e6, millis(3), 20_000).with_random_loss(0.1),
+            );
+            sim.add_agent(
+                a,
+                1,
+                Box::new(Blaster {
+                    dst: Addr::new(b, 2),
+                    count: 200,
+                    size: 500,
+                    sent: 0,
+                }),
+            );
+            let rx = sim.add_agent(b, 2, Box::new(Recorder::default()));
+            sim.run_until(crate::time::secs(2.0));
+            sim.agent::<Recorder>(rx).unwrap().arrivals.clone()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8), "different seeds should diverge");
+    }
+
+    #[test]
+    fn run_for_advances_clock_even_when_idle() {
+        let mut sim = Simulator::new(0);
+        sim.add_node();
+        sim.run_for(millis(50));
+        assert_eq!(sim.now(), millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "already has an agent")]
+    fn duplicate_address_panics() {
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(n, 1, Box::new(Recorder::default()));
+        sim.add_agent(n, 1, Box::new(Recorder::default()));
+    }
+
+    #[test]
+    fn multi_hop_chain_forwards_with_summed_latency() {
+        // a - r1 - r2 - b : three store-and-forward hops.
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node();
+        let r1 = sim.add_node();
+        let r2 = sim.add_node();
+        let b = sim.add_node();
+        for (x, y) in [(a, r1), (r1, r2), (r2, b)] {
+            sim.add_duplex_link(x, y, LinkSpec::new(8e6, millis(4), 64_000));
+        }
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                dst: Addr::new(b, 2),
+                count: 3,
+                size: 1000,
+                sent: 0,
+            }),
+        );
+        let rx = sim.add_agent(b, 2, Box::new(Recorder::default()));
+        sim.run_until(crate::time::secs(1.0));
+        let rec = sim.agent::<Recorder>(rx).unwrap();
+        assert_eq!(rec.arrivals.len(), 3);
+        // Each hop: 1 ms serialization + 4 ms propagation = 5 ms; three
+        // hops = 15 ms for the first packet.
+        assert_eq!(rec.arrivals[0].0, millis(15));
+    }
+
+    #[test]
+    fn flow_stats_and_packet_log_track_ground_truth() {
+        let mut sim = Simulator::new(8);
+        sim.enable_packet_log(10_000);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        // Tight queue: some drops guaranteed.
+        sim.add_duplex_link(a, b, LinkSpec::new(1e6, millis(2), 2500));
+        sim.add_agent(
+            a,
+            1,
+            Box::new(Blaster {
+                dst: Addr::new(b, 2),
+                count: 50,
+                size: 1000,
+                sent: 0,
+            }),
+        );
+        let rx = sim.add_agent(b, 2, Box::new(Recorder::default()));
+        sim.run_until(crate::time::secs(5.0));
+        let fs = sim.flow_stats(FlowId(1));
+        let delivered = sim.agent::<Recorder>(rx).unwrap().arrivals.len() as u64;
+        assert_eq!(fs.sent_packets, 50);
+        assert_eq!(fs.delivered_packets, delivered);
+        assert_eq!(fs.delivered_packets + fs.dropped_packets, 50);
+        assert!(fs.loss_ratio() > 0.0);
+        // The log saw every event class.
+        use crate::trace::PacketEventKind as K;
+        let log = sim.packet_log();
+        assert!(log.iter().any(|e| matches!(e.kind, K::Sent)));
+        assert!(log.iter().any(|e| matches!(e.kind, K::Delivered)));
+        assert!(log.iter().any(|e| matches!(e.kind, K::DroppedAtQueue(_))));
+        // Sent events equal the counter.
+        let sent = log.iter().filter(|e| matches!(e.kind, K::Sent)).count() as u64;
+        assert_eq!(sent, 50);
+    }
+
+    #[test]
+    fn unroutable_packets_are_counted() {
+        struct SendToNowhere;
+        impl Agent for SendToNowhere {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let me = ctx.addr();
+                // Port with no listener.
+                ctx.send(Addr::new(me.node, 77), 10, FlowId::ANON, payload(()));
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        }
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(n, 1, Box::new(SendToNowhere));
+        sim.run_until(millis(1));
+        assert_eq!(sim.counters().packets_unroutable, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Simulation time.
+//!
+//! The simulator uses a discrete clock counted in integer **nanoseconds**
+//! from the start of the run. Integer time keeps event ordering exact and
+//! runs reproducible across platforms; all rate/latency arithmetic converts
+//! through `f64` only at the edges.
+
+/// A point in simulated time, in nanoseconds since simulation start.
+pub type Time = u64;
+
+/// A span of simulated time, in nanoseconds.
+pub type TimeDelta = u64;
+
+/// One microsecond in [`Time`] units.
+pub const MICROSECOND: TimeDelta = 1_000;
+/// One millisecond in [`Time`] units.
+pub const MILLISECOND: TimeDelta = 1_000_000;
+/// One second in [`Time`] units.
+pub const SECOND: TimeDelta = 1_000_000_000;
+
+/// Converts a floating-point number of seconds to [`Time`] units.
+///
+/// Negative and non-finite inputs saturate to zero; values beyond the
+/// representable range saturate to `Time::MAX`.
+#[inline]
+pub fn secs(s: f64) -> TimeDelta {
+    if s.is_nan() || s <= 0.0 {
+        return 0;
+    }
+    let ns = s * SECOND as f64;
+    if ns >= u64::MAX as f64 {
+        u64::MAX
+    } else {
+        ns as u64
+    }
+}
+
+/// Converts an integer number of milliseconds to [`Time`] units.
+#[inline]
+pub const fn millis(ms: u64) -> TimeDelta {
+    ms * MILLISECOND
+}
+
+/// Converts an integer number of microseconds to [`Time`] units.
+#[inline]
+pub const fn micros(us: u64) -> TimeDelta {
+    us * MICROSECOND
+}
+
+/// Converts a [`Time`] value to floating-point seconds.
+#[inline]
+pub fn as_secs(t: Time) -> f64 {
+    t as f64 / SECOND as f64
+}
+
+/// Converts a [`Time`] value to floating-point milliseconds.
+#[inline]
+pub fn as_millis(t: Time) -> f64 {
+    t as f64 / MILLISECOND as f64
+}
+
+/// Time needed to serialize `bytes` onto a link of `rate_bps` bits/second.
+///
+/// A zero or negative rate is treated as infinitely fast (zero time), which
+/// models an ideal link in tests.
+#[inline]
+pub fn transmission_time(bytes: u32, rate_bps: f64) -> TimeDelta {
+    if rate_bps <= 0.0 {
+        return 0;
+    }
+    secs(bytes as f64 * 8.0 / rate_bps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_round_trips_millisecond_values() {
+        assert_eq!(secs(0.001), MILLISECOND);
+        assert_eq!(secs(1.0), SECOND);
+        assert_eq!(secs(0.5), 500 * MILLISECOND);
+    }
+
+    #[test]
+    fn secs_saturates_on_bad_input() {
+        assert_eq!(secs(-1.0), 0);
+        assert_eq!(secs(f64::NAN), 0);
+        assert_eq!(secs(f64::INFINITY), u64::MAX);
+        assert_eq!(secs(1e30), u64::MAX);
+    }
+
+    #[test]
+    fn const_conversions() {
+        assert_eq!(millis(30), 30_000_000);
+        assert_eq!(micros(7), 7_000);
+    }
+
+    #[test]
+    fn as_secs_inverts_secs() {
+        let t = secs(12.25);
+        assert!((as_secs(t) - 12.25).abs() < 1e-9);
+        assert!((as_millis(millis(42)) - 42.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transmission_time_matches_hand_calculation() {
+        // 1400 bytes at 20 Mb/s = 11200 bits / 20e6 = 560 microseconds.
+        assert_eq!(transmission_time(1400, 20e6), 560 * MICROSECOND);
+    }
+
+    #[test]
+    fn transmission_time_zero_rate_is_instant() {
+        assert_eq!(transmission_time(1400, 0.0), 0);
+        assert_eq!(transmission_time(1400, -5.0), 0);
+    }
+}

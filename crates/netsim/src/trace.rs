@@ -1,0 +1,176 @@
+//! Simulation observability: per-flow accounting and a bounded packet
+//! event log.
+//!
+//! Per-flow counters are always on (they are how experiments compute
+//! ground-truth loss ratios per traffic class); the packet log is
+//! opt-in via [`crate::Simulator::enable_packet_log`] because a long run
+//! can produce millions of events.
+
+use std::collections::HashMap;
+
+use crate::packet::{FlowId, LinkId};
+use crate::time::Time;
+
+/// Ground-truth counters for one flow.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowStats {
+    /// Packets injected by agents.
+    pub sent_packets: u64,
+    /// Bytes injected.
+    pub sent_bytes: u64,
+    /// Packets handed to their destination agent.
+    pub delivered_packets: u64,
+    /// Bytes delivered.
+    pub delivered_bytes: u64,
+    /// Packets dropped at queues (drop-tail or RED).
+    pub dropped_packets: u64,
+    /// Packets lost to the random-loss failure model.
+    pub random_losses: u64,
+}
+
+impl FlowStats {
+    /// Ground-truth network loss ratio for this flow.
+    pub fn loss_ratio(&self) -> f64 {
+        if self.sent_packets == 0 {
+            return 0.0;
+        }
+        (self.dropped_packets + self.random_losses) as f64 / self.sent_packets as f64
+    }
+}
+
+/// What happened to a packet at one point of its life.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PacketEventKind {
+    /// Injected by an agent.
+    Sent,
+    /// Handed to the destination agent.
+    Delivered,
+    /// Dropped by a queue (drop-tail or RED early drop).
+    DroppedAtQueue(LinkId),
+    /// Lost by the random-loss model on a link.
+    LostRandom(LinkId),
+}
+
+/// One entry of the packet event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketEvent {
+    /// When it happened.
+    pub at: Time,
+    /// The packet's simulator-assigned id.
+    pub packet_id: u64,
+    /// The packet's flow.
+    pub flow: FlowId,
+    /// Wire size in bytes.
+    pub size: u32,
+    /// What happened.
+    pub kind: PacketEventKind,
+}
+
+/// Collects flow counters and (optionally) packet events.
+#[derive(Debug, Default)]
+pub struct TraceCollector {
+    flows: HashMap<FlowId, FlowStats>,
+    log: Vec<PacketEvent>,
+    log_capacity: usize,
+    /// Events that arrived after the log filled.
+    pub log_overflow: u64,
+}
+
+impl TraceCollector {
+    /// Enables the packet log with the given capacity.
+    pub fn enable_log(&mut self, capacity: usize) {
+        self.log_capacity = capacity;
+        self.log.reserve(capacity.min(1 << 20));
+    }
+
+    #[inline]
+    pub(crate) fn record(&mut self, ev: PacketEvent) {
+        let f = self.flows.entry(ev.flow).or_default();
+        match ev.kind {
+            PacketEventKind::Sent => {
+                f.sent_packets += 1;
+                f.sent_bytes += u64::from(ev.size);
+            }
+            PacketEventKind::Delivered => {
+                f.delivered_packets += 1;
+                f.delivered_bytes += u64::from(ev.size);
+            }
+            PacketEventKind::DroppedAtQueue(_) => f.dropped_packets += 1,
+            PacketEventKind::LostRandom(_) => f.random_losses += 1,
+        }
+        if self.log_capacity > 0 {
+            if self.log.len() < self.log_capacity {
+                self.log.push(ev);
+            } else {
+                self.log_overflow += 1;
+            }
+        }
+    }
+
+    /// Counters for one flow (zeroes if never seen).
+    pub fn flow(&self, flow: FlowId) -> FlowStats {
+        self.flows.get(&flow).copied().unwrap_or_default()
+    }
+
+    /// All flows seen so far.
+    pub fn flows(&self) -> impl Iterator<Item = (FlowId, &FlowStats)> {
+        self.flows.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// The recorded events (empty unless enabled).
+    pub fn log(&self) -> &[PacketEvent] {
+        &self.log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: PacketEventKind) -> PacketEvent {
+        PacketEvent {
+            at: 0,
+            packet_id: 1,
+            flow: FlowId(7),
+            size: 100,
+            kind,
+        }
+    }
+
+    #[test]
+    fn counters_accumulate_per_flow() {
+        let mut t = TraceCollector::default();
+        t.record(ev(PacketEventKind::Sent));
+        t.record(ev(PacketEventKind::Sent));
+        t.record(ev(PacketEventKind::Delivered));
+        t.record(ev(PacketEventKind::DroppedAtQueue(LinkId(0))));
+        let f = t.flow(FlowId(7));
+        assert_eq!(f.sent_packets, 2);
+        assert_eq!(f.sent_bytes, 200);
+        assert_eq!(f.delivered_packets, 1);
+        assert_eq!(f.dropped_packets, 1);
+        assert!((f.loss_ratio() - 0.5).abs() < 1e-12);
+        // Unknown flow: zeroes.
+        assert_eq!(t.flow(FlowId(9)).sent_packets, 0);
+    }
+
+    #[test]
+    fn log_is_off_by_default_and_bounded_when_on() {
+        let mut t = TraceCollector::default();
+        t.record(ev(PacketEventKind::Sent));
+        assert!(t.log().is_empty());
+
+        t.enable_log(2);
+        t.record(ev(PacketEventKind::Sent));
+        t.record(ev(PacketEventKind::Delivered));
+        t.record(ev(PacketEventKind::Sent));
+        assert_eq!(t.log().len(), 2);
+        assert_eq!(t.log_overflow, 1);
+    }
+
+    #[test]
+    fn zero_sent_flow_has_zero_loss() {
+        let t = TraceCollector::default();
+        assert_eq!(t.flow(FlowId(1)).loss_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Congestion control: a window-based analogue of the Loss-Delay
+//! Adjustment algorithm (Sisalem & Schulzrinne) the paper says IQ-RUDP
+//! resembles (§2).
+//!
+//! Per measuring period the window grows additively when the period was
+//! loss-free and shrinks multiplicatively with the measured loss ratio —
+//! `w ← w · max(0.5, 1 − β·√loss)` (LDA's loss-proportional adjustment)
+//! — which is smoother than TCP's halving and is what gives RUDP its
+//! "smoother changes of congestion window" (§3.2), while the √ keeps the
+//! reaction strong enough to remain roughly TCP-friendly.
+//! Retransmission timeouts still halve the window immediately.
+//!
+//! Coordination hooks: [`LdaWindow::scale`] applies the IQ-RUDP window
+//! re-adjustments (e.g. `1/(1 − rate_chg)` after a resolution
+//! adaptation), and the whole controller can be disabled to reproduce the
+//! paper's "application adaptation only" row (Table 1, row 3).
+
+/// Tunables for [`LdaWindow`].
+#[derive(Debug, Clone)]
+pub struct CcConfig {
+    /// Initial window, segments.
+    pub initial_cwnd: f64,
+    /// Window floor.
+    pub min_cwnd: f64,
+    /// Window ceiling.
+    pub max_cwnd: f64,
+    /// Additive increase per loss-free period, segments.
+    pub incr_per_period: f64,
+    /// Multiplier on the square root of the loss ratio for the decrease
+    /// factor.
+    pub beta: f64,
+    /// Whether adaptive control is active; when `false` the window stays
+    /// pinned at `fixed_cwnd`.
+    pub enabled: bool,
+    /// Window used when `enabled == false`.
+    pub fixed_cwnd: f64,
+}
+
+impl Default for CcConfig {
+    fn default() -> Self {
+        Self {
+            initial_cwnd: 2.0,
+            min_cwnd: 1.0,
+            max_cwnd: 1024.0,
+            incr_per_period: 1.0,
+            beta: 2.0,
+            enabled: true,
+            fixed_cwnd: 64.0,
+        }
+    }
+}
+
+/// The congestion window state.
+#[derive(Debug, Clone)]
+pub struct LdaWindow {
+    cfg: CcConfig,
+    cwnd: f64,
+}
+
+impl LdaWindow {
+    /// Creates a window from its configuration.
+    pub fn new(cfg: CcConfig) -> Self {
+        let cwnd = if cfg.enabled {
+            cfg.initial_cwnd
+        } else {
+            cfg.fixed_cwnd
+        };
+        Self { cfg, cwnd }
+    }
+
+    /// Current window in (fractional) segments.
+    pub fn cwnd(&self) -> f64 {
+        self.cwnd
+    }
+
+    /// Window rounded down to whole segments, at least one.
+    pub fn cwnd_segments(&self) -> u32 {
+        (self.cwnd.floor() as u32).max(1)
+    }
+
+    /// Whether adaptive control is active.
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    fn clamp(&mut self) {
+        self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
+    }
+
+    /// Ends a measuring period with the observed `loss_ratio`.
+    pub fn on_period(&mut self, loss_ratio: f64) {
+        if !self.cfg.enabled {
+            return;
+        }
+        if loss_ratio <= 0.0 {
+            self.cwnd += self.cfg.incr_per_period;
+        } else {
+            let factor = (1.0 - self.cfg.beta * loss_ratio.sqrt()).max(0.5);
+            self.cwnd *= factor;
+        }
+        self.clamp();
+    }
+
+    /// Reacts to a retransmission timeout: immediate halving.
+    pub fn on_timeout(&mut self) {
+        if !self.cfg.enabled {
+            return;
+        }
+        self.cwnd *= 0.5;
+        self.clamp();
+    }
+
+    /// Coordination re-adjustment: multiplies the window by `factor`
+    /// (clamped). Used by IQ-RUDP when the application reports an
+    /// adaptation that changes its traffic pattern.
+    pub fn scale(&mut self, factor: f64) {
+        if factor.is_finite() && factor > 0.0 {
+            self.cwnd *= factor;
+            self.clamp();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn win() -> LdaWindow {
+        LdaWindow::new(CcConfig::default())
+    }
+
+    #[test]
+    fn additive_increase_when_clean() {
+        let mut w = win();
+        let start = w.cwnd();
+        w.on_period(0.0);
+        w.on_period(0.0);
+        assert_eq!(w.cwnd(), start + 2.0 * CcConfig::default().incr_per_period);
+    }
+
+    #[test]
+    fn loss_proportional_decrease() {
+        let mut w = LdaWindow::new(CcConfig {
+            beta: 1.0,
+            ..CcConfig::default()
+        });
+        w.scale(50.0); // get to 100
+        let before = w.cwnd();
+        w.on_period(0.09); // sqrt(0.09) = 0.3
+        assert!((w.cwnd() - before * 0.7).abs() < 1e-9);
+        // Heavy loss floors at one half.
+        let before = w.cwnd();
+        w.on_period(0.9);
+        assert!((w.cwnd() - before * 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn timeout_halves() {
+        let mut w = win();
+        w.scale(8.0); // 16
+        w.on_timeout();
+        assert_eq!(w.cwnd(), 8.0);
+    }
+
+    #[test]
+    fn clamped_to_bounds() {
+        let mut w = win();
+        for _ in 0..2000 {
+            w.on_period(0.0);
+        }
+        assert_eq!(w.cwnd(), 1024.0);
+        for _ in 0..100 {
+            w.on_timeout();
+        }
+        assert_eq!(w.cwnd(), 1.0);
+        assert_eq!(w.cwnd_segments(), 1);
+    }
+
+    #[test]
+    fn disabled_window_is_pinned() {
+        let mut w = LdaWindow::new(CcConfig {
+            enabled: false,
+            fixed_cwnd: 40.0,
+            ..CcConfig::default()
+        });
+        w.on_period(0.5);
+        w.on_timeout();
+        assert_eq!(w.cwnd(), 40.0);
+        assert!(!w.enabled());
+        // Coordination scaling still applies even with cc disabled.
+        w.scale(0.5);
+        assert_eq!(w.cwnd(), 20.0);
+    }
+
+    #[test]
+    fn scale_ignores_degenerate_factors() {
+        let mut w = win();
+        let before = w.cwnd();
+        w.scale(0.0);
+        w.scale(-1.0);
+        w.scale(f64::NAN);
+        w.scale(f64::INFINITY);
+        assert_eq!(w.cwnd(), before);
+    }
+}

@@ -1,0 +1,388 @@
+//! Simulator glue: drivers that embed the connection state machines into
+//! netsim agents, plus ready-made bulk-transfer agents used by the
+//! fairness and baseline experiments.
+
+use iq_metrics::FlowMetrics;
+use iq_netsim::{payload, Addr, Agent, Ctx, FlowId, Packet, Time, TimerId};
+
+use crate::receiver::ReceiverConn;
+use crate::segment::{wire_size, RudpPacket};
+use crate::sender::SenderConn;
+use crate::types::{ConnEvent, DeliveredMsg, RudpConfig};
+
+/// Timer token reserved for RUDP protocol ticks; embedding agents must
+/// route `on_timer` calls with this token to the driver.
+pub const RUDP_TIMER_TOKEN: u64 = 0x5255_4450; // "RUDP"
+
+/// Embeds a [`SenderConn`] into an agent: transmission pumping, timer
+/// management, and packet demultiplexing.
+pub struct SenderDriver {
+    /// The protocol state machine (public for metric access).
+    pub conn: SenderConn,
+    peer: Addr,
+    flow: FlowId,
+    armed: Option<(Time, TimerId)>,
+}
+
+impl SenderDriver {
+    /// Creates a driver that talks to `peer` tagging packets with `flow`.
+    pub fn new(conn: SenderConn, peer: Addr, flow: FlowId) -> Self {
+        Self {
+            conn,
+            peer,
+            flow,
+            armed: None,
+        }
+    }
+
+    /// Feeds an incoming packet; returns `true` if it belonged to this
+    /// connection. Call [`Self::pump`] afterwards.
+    pub fn handle_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) -> bool {
+        let Some(rp) = pkt.payload_as::<RudpPacket>() else {
+            return false;
+        };
+        if rp.conn_id != self.conn.conn_id() {
+            return false;
+        }
+        self.conn.on_segment(ctx.now(), &rp.segment);
+        true
+    }
+
+    /// Handles a timer tick (token [`RUDP_TIMER_TOKEN`]).
+    ///
+    /// Safe to call on any driver when the token fires, even with
+    /// several drivers sharing one agent: only a timer that actually
+    /// reached its deadline is considered consumed (otherwise this
+    /// driver's pending timer stays armed and no duplicate is set).
+    pub fn handle_timer(&mut self, ctx: &mut Ctx<'_>) {
+        if let Some((at, _)) = self.armed {
+            if at <= ctx.now() {
+                self.armed = None;
+            }
+        }
+        self.conn.on_tick(ctx.now());
+    }
+
+    /// Transmits everything ready and re-arms the protocol timer. Must
+    /// be called after every interaction with the connection.
+    pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let conn_id = self.conn.conn_id();
+        while let Some(seg) = self.conn.poll_transmit(ctx.now()) {
+            let size = wire_size(&seg);
+            ctx.send(
+                self.peer,
+                size,
+                self.flow,
+                payload(RudpPacket {
+                    conn_id,
+                    segment: seg,
+                }),
+            );
+        }
+        self.rearm(ctx);
+    }
+
+    fn rearm(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(next) = self.conn.next_timeout(ctx.now()) else {
+            return;
+        };
+        let next = next.max(ctx.now());
+        match self.armed {
+            Some((at, _)) if at <= next => {} // an earlier timer is armed
+            _ => {
+                if let Some((_, id)) = self.armed.take() {
+                    ctx.cancel_timer(id);
+                }
+                let delay = next - ctx.now();
+                let id = ctx.set_timer(delay, RUDP_TIMER_TOKEN);
+                self.armed = Some((next, id));
+            }
+        }
+    }
+}
+
+/// Embeds a [`ReceiverConn`] into an agent. The peer address is learned
+/// from the first arriving packet.
+pub struct ReceiverDriver {
+    /// The protocol state machine (public for metric access).
+    pub conn: ReceiverConn,
+    peer: Option<Addr>,
+    flow: FlowId,
+}
+
+impl ReceiverDriver {
+    /// Creates a receiver driver tagging outgoing ACKs with `flow`.
+    pub fn new(conn: ReceiverConn, flow: FlowId) -> Self {
+        Self {
+            conn,
+            peer: None,
+            flow,
+        }
+    }
+
+    /// Feeds an incoming packet; returns `true` when consumed. Call
+    /// [`Self::pump`] afterwards.
+    pub fn handle_packet(&mut self, ctx: &mut Ctx<'_>, pkt: &Packet) -> bool {
+        let Some(rp) = pkt.payload_as::<RudpPacket>() else {
+            return false;
+        };
+        if rp.conn_id != self.conn.conn_id() {
+            return false;
+        }
+        self.peer.get_or_insert(pkt.src);
+        self.conn.on_segment(ctx.now(), &rp.segment);
+        true
+    }
+
+    /// Transmits pending ACKs/control segments.
+    pub fn pump(&mut self, ctx: &mut Ctx<'_>) {
+        let Some(peer) = self.peer else {
+            return;
+        };
+        let conn_id = self.conn.conn_id();
+        while let Some(seg) = self.conn.poll_transmit(ctx.now()) {
+            let size = wire_size(&seg);
+            ctx.send(
+                peer,
+                size,
+                self.flow,
+                payload(RudpPacket {
+                    conn_id,
+                    segment: seg,
+                }),
+            );
+        }
+    }
+}
+
+/// Sends a fixed volume of data as fast as the windows allow, in
+/// `msg_size`-byte marked messages, then closes. Used by the baseline
+/// and fairness experiments.
+pub struct BulkSenderAgent {
+    driver: SenderDriver,
+    remaining_msgs: u64,
+    msg_size: u32,
+    /// Keep roughly this many segments queued inside the connection.
+    backlog_target: usize,
+    /// Network-condition history, one entry per measuring period.
+    pub period_log: Vec<crate::meter::NetCond>,
+}
+
+impl BulkSenderAgent {
+    /// Creates a bulk sender that will transfer `total_msgs` messages of
+    /// `msg_size` bytes each over `conn`.
+    pub fn new(conn: SenderConn, peer: Addr, flow: FlowId, total_msgs: u64, msg_size: u32) -> Self {
+        Self {
+            driver: SenderDriver::new(conn, peer, flow),
+            remaining_msgs: total_msgs,
+            msg_size,
+            backlog_target: 128,
+            period_log: Vec::new(),
+        }
+    }
+
+    /// Access to the underlying connection (stats, window).
+    pub fn conn(&self) -> &SenderConn {
+        &self.driver.conn
+    }
+
+    fn refill(&mut self, now: Time) {
+        while self.remaining_msgs > 0
+            && self.driver.conn.backlog_segments() < self.backlog_target
+        {
+            self.driver.conn.send_message(now, self.msg_size, true);
+            self.remaining_msgs -= 1;
+        }
+        if self.remaining_msgs == 0 {
+            self.driver.conn.finish();
+        }
+    }
+
+    fn after_io(&mut self, ctx: &mut Ctx<'_>) {
+        for ev in self.driver.conn.take_events() {
+            if let ConnEvent::PeriodEnded(c) = ev {
+                self.period_log.push(c);
+            }
+        }
+        self.refill(ctx.now());
+        self.driver.pump(ctx);
+    }
+}
+
+impl Agent for BulkSenderAgent {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        self.refill(ctx.now());
+        self.driver.pump(ctx);
+    }
+
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if self.driver.handle_packet(ctx, &pkt) {
+            self.after_io(ctx);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        if token == RUDP_TIMER_TOKEN {
+            self.driver.handle_timer(ctx);
+            self.after_io(ctx);
+        }
+    }
+}
+
+/// Receives messages and records [`FlowMetrics`]; the standard receiving
+/// end of every RUDP experiment.
+pub struct RudpSinkAgent {
+    driver: ReceiverDriver,
+    /// Receiver-side application metrics.
+    pub metrics: FlowMetrics,
+    /// Raw messages, retained when `keep_messages` is set.
+    pub messages: Vec<DeliveredMsg>,
+    keep_messages: bool,
+}
+
+impl RudpSinkAgent {
+    /// Creates a sink for connection `conn_id`.
+    pub fn new(conn_id: u32, cfg: RudpConfig, flow: FlowId) -> Self {
+        Self {
+            driver: ReceiverDriver::new(ReceiverConn::new(conn_id, cfg), flow),
+            metrics: FlowMetrics::new(),
+            messages: Vec::new(),
+            keep_messages: false,
+        }
+    }
+
+    /// Retain every delivered message for later inspection.
+    pub fn keep_messages(mut self) -> Self {
+        self.keep_messages = true;
+        self
+    }
+
+    /// Access to the underlying connection (stats).
+    pub fn conn(&self) -> &ReceiverConn {
+        &self.driver.conn
+    }
+
+    /// Whether the transfer finished cleanly.
+    pub fn is_finished(&self) -> bool {
+        self.driver.conn.is_finished()
+    }
+}
+
+impl Agent for RudpSinkAgent {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if !self.driver.handle_packet(ctx, &pkt) {
+            return;
+        }
+        for msg in self.driver.conn.take_messages() {
+            self.metrics.on_message(
+                msg.delivered_at,
+                msg.sent_at,
+                u64::from(msg.size),
+                msg.marked,
+            );
+            if self.keep_messages {
+                self.messages.push(msg);
+            }
+        }
+        self.driver.conn.take_events();
+        self.driver.pump(ctx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_netsim::{time, LinkSpec, Simulator};
+
+    /// End-to-end bulk transfer over a clean 10 Mb/s, 10 ms-RTT link.
+    #[test]
+    fn bulk_transfer_delivers_everything() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(10e6, time::millis(5), 64_000));
+        let cfg = RudpConfig::default();
+        let sender = BulkSenderAgent::new(
+            SenderConn::new(7, cfg.clone()),
+            Addr::new(b, 1),
+            FlowId(1),
+            100,
+            1400,
+        );
+        let tx = sim.add_agent(a, 1, Box::new(sender));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(7, cfg, FlowId(1))));
+        sim.run_until(time::secs(30.0));
+
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(sink.is_finished(), "transfer did not finish");
+        assert_eq!(sink.metrics.messages(), 100);
+        assert_eq!(sink.metrics.bytes(), 140_000);
+        let sender = sim.agent::<BulkSenderAgent>(tx).unwrap();
+        assert!(sender.conn().is_closed());
+        assert_eq!(sender.conn().stats().segments_acked, 100);
+    }
+
+    /// The same transfer over a 5%-lossy link still completes (marked
+    /// data is fully reliable) with retransmissions.
+    #[test]
+    fn bulk_transfer_survives_random_loss() {
+        let mut sim = Simulator::new(11);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(10e6, time::millis(5), 64_000).with_random_loss(0.05),
+        );
+        let cfg = RudpConfig::default();
+        let sender = BulkSenderAgent::new(
+            SenderConn::new(7, cfg.clone()),
+            Addr::new(b, 1),
+            FlowId(1),
+            200,
+            1400,
+        );
+        let tx = sim.add_agent(a, 1, Box::new(sender));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(7, cfg, FlowId(1))));
+        sim.run_until(time::secs(60.0));
+
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(sink.is_finished(), "lossy transfer did not finish");
+        assert_eq!(sink.metrics.messages(), 200);
+        let sender = sim.agent::<BulkSenderAgent>(tx).unwrap();
+        assert!(sender.conn().stats().retransmits > 0, "expected retransmits");
+        assert_eq!(sender.conn().stats().segments_abandoned, 0);
+    }
+
+    /// Throughput of a long transfer approaches the link rate.
+    #[test]
+    fn bulk_transfer_saturates_clean_link() {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        // 8 Mb/s, 20 ms RTT; queue = BDP.
+        sim.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(8e6, time::millis(10), 64_000).with_bdp_queue(time::millis(20)),
+        );
+        let cfg = RudpConfig::default();
+        let total_msgs = 2000u64;
+        let sender = BulkSenderAgent::new(
+            SenderConn::new(1, cfg.clone()),
+            Addr::new(b, 1),
+            FlowId(1),
+            total_msgs,
+            1400,
+        );
+        sim.add_agent(a, 1, Box::new(sender));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(1, cfg, FlowId(1))));
+        sim.run_until(time::secs(60.0));
+        let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(sink.is_finished());
+        let kbps = sink.metrics.throughput_kbps();
+        // 8 Mb/s is 1000 KB/s; expect at least 60% utilization
+        // (conservative: additive increase takes a while).
+        assert!(kbps > 600.0, "throughput too low: {kbps} KB/s");
+    }
+}

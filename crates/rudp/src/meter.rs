@@ -1,0 +1,197 @@
+//! Per-connection measurement periods.
+//!
+//! IQ-RUDP maintains "a group of network performance metrics ... anytime
+//! during a connection's lifetime" (§2.1). The sender counts segments
+//! sent, acknowledged, and lost within fixed measuring periods; at each
+//! period boundary it produces a [`NetCond`] snapshot used for (a) the
+//! LDA window adjustment, (b) the exported `NET_*` attributes, and (c)
+//! the application's error-ratio threshold callbacks.
+
+use iq_metrics::Ewma;
+use iq_netsim::{Time, TimeDelta};
+
+/// A snapshot of network condition at a period boundary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetCond {
+    /// Loss ("error") ratio of the last period, in `[0, 1]`.
+    pub eratio: f64,
+    /// Smoothed loss ratio (EWMA over periods).
+    pub eratio_smoothed: f64,
+    /// Smoothed round-trip time, milliseconds.
+    pub srtt_ms: f64,
+    /// Current congestion window, segments.
+    pub cwnd: f64,
+    /// Acked goodput over the last period, KB/s.
+    pub rate_kbps: f64,
+}
+
+/// Counts per-period sender activity.
+#[derive(Debug, Clone)]
+pub struct PeriodMeter {
+    period: TimeDelta,
+    period_start: Time,
+    sent: u64,
+    lost: u64,
+    acked_bytes: u64,
+    eratio_smoothed: Ewma,
+    last: NetCond,
+}
+
+impl PeriodMeter {
+    /// Creates a meter with the given period length.
+    pub fn new(period: TimeDelta) -> Self {
+        Self {
+            period,
+            period_start: 0,
+            sent: 0,
+            lost: 0,
+            acked_bytes: 0,
+            eratio_smoothed: Ewma::new(0.3),
+            last: NetCond::default(),
+        }
+    }
+
+    /// Period length.
+    pub fn period(&self) -> TimeDelta {
+        self.period
+    }
+
+    /// Records a (re)transmitted data segment.
+    pub fn on_send(&mut self) {
+        self.sent += 1;
+    }
+
+    /// Records a detected loss (fast-retransmit trigger, timeout, or
+    /// abandonment of an unmarked segment).
+    pub fn on_loss(&mut self) {
+        self.lost += 1;
+    }
+
+    /// Records `bytes` newly acknowledged.
+    pub fn on_acked(&mut self, bytes: u64) {
+        self.acked_bytes += bytes;
+    }
+
+    /// Time at which the current period ends.
+    pub fn deadline(&self) -> Time {
+        self.period_start + self.period
+    }
+
+    /// Closes the period if `now` passed its deadline; returns the fresh
+    /// snapshot when one was produced. `srtt_ms` and `cwnd` are provided
+    /// by the connection for inclusion in the snapshot.
+    pub fn maybe_roll(&mut self, now: Time, srtt_ms: f64, cwnd: f64) -> Option<NetCond> {
+        if now < self.deadline() {
+            return None;
+        }
+        let eratio = if self.sent == 0 {
+            0.0
+        } else {
+            (self.lost as f64 / self.sent as f64).min(1.0)
+        };
+        let elapsed_s = (now - self.period_start) as f64 / 1e9;
+        let rate_kbps = if elapsed_s > 0.0 {
+            self.acked_bytes as f64 / 1000.0 / elapsed_s
+        } else {
+            0.0
+        };
+        let cond = NetCond {
+            eratio,
+            eratio_smoothed: self.eratio_smoothed.push(eratio),
+            srtt_ms,
+            cwnd,
+            rate_kbps,
+        };
+        self.last = cond;
+        self.sent = 0;
+        self.lost = 0;
+        self.acked_bytes = 0;
+        self.period_start = now;
+        Some(cond)
+    }
+
+    /// Most recent completed snapshot.
+    pub fn last(&self) -> NetCond {
+        self.last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_netsim::time::millis;
+
+    #[test]
+    fn no_roll_before_deadline() {
+        let mut m = PeriodMeter::new(millis(100));
+        m.on_send();
+        assert!(m.maybe_roll(millis(50), 30.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn eratio_is_lost_over_sent() {
+        let mut m = PeriodMeter::new(millis(100));
+        for _ in 0..10 {
+            m.on_send();
+        }
+        m.on_loss();
+        m.on_loss();
+        let c = m.maybe_roll(millis(100), 30.0, 10.0).unwrap();
+        assert!((c.eratio - 0.2).abs() < 1e-9);
+        assert_eq!(c.srtt_ms, 30.0);
+        assert_eq!(c.cwnd, 10.0);
+    }
+
+    #[test]
+    fn counters_reset_each_period() {
+        let mut m = PeriodMeter::new(millis(100));
+        m.on_send();
+        m.on_loss();
+        m.maybe_roll(millis(100), 0.0, 0.0).unwrap();
+        m.on_send();
+        let c = m.maybe_roll(millis(200), 0.0, 0.0).unwrap();
+        assert_eq!(c.eratio, 0.0);
+    }
+
+    #[test]
+    fn idle_period_has_zero_eratio() {
+        let mut m = PeriodMeter::new(millis(100));
+        let c = m.maybe_roll(millis(150), 0.0, 0.0).unwrap();
+        assert_eq!(c.eratio, 0.0);
+        assert_eq!(c.rate_kbps, 0.0);
+    }
+
+    #[test]
+    fn rate_counts_acked_bytes() {
+        let mut m = PeriodMeter::new(millis(100));
+        m.on_acked(50_000);
+        let c = m.maybe_roll(millis(100), 0.0, 0.0).unwrap();
+        // 50 KB over 0.1 s = 500 KB/s.
+        assert!((c.rate_kbps - 500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smoothed_eratio_lags_instantaneous() {
+        let mut m = PeriodMeter::new(millis(100));
+        let mut t = millis(100);
+        // First period: heavy loss.
+        for _ in 0..10 {
+            m.on_send();
+        }
+        for _ in 0..5 {
+            m.on_loss();
+        }
+        m.maybe_roll(t, 0.0, 0.0);
+        // Next periods: clean.
+        for _ in 0..5 {
+            t += millis(100);
+            for _ in 0..10 {
+                m.on_send();
+            }
+            m.maybe_roll(t, 0.0, 0.0);
+        }
+        let c = m.last();
+        assert_eq!(c.eratio, 0.0);
+        assert!(c.eratio_smoothed > 0.0 && c.eratio_smoothed < 0.2);
+    }
+}

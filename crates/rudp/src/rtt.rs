@@ -1,0 +1,146 @@
+//! Round-trip time estimation (Jacobson/Karels SRTT + RTTVAR, Karn's
+//! rule applied by the caller via the `echo_tx_at` convention).
+
+use iq_netsim::{time, Time, TimeDelta};
+
+/// SRTT/RTTVAR estimator with exponential RTO backoff.
+#[derive(Debug, Clone)]
+pub struct RttEstimator {
+    srtt: Option<f64>,
+    rttvar: f64,
+    min_rto: TimeDelta,
+    max_rto: TimeDelta,
+    /// Current backoff multiplier (doubles on timeout, resets on sample).
+    backoff: u32,
+}
+
+impl RttEstimator {
+    /// Creates an estimator with the given RTO clamps.
+    pub fn new(min_rto: TimeDelta, max_rto: TimeDelta) -> Self {
+        Self {
+            srtt: None,
+            rttvar: 0.0,
+            min_rto,
+            max_rto,
+            backoff: 0,
+        }
+    }
+
+    /// Feeds one RTT sample (seconds since the echoed transmission).
+    pub fn sample(&mut self, rtt_s: f64) {
+        const ALPHA: f64 = 1.0 / 8.0;
+        const BETA: f64 = 1.0 / 4.0;
+        match self.srtt {
+            None => {
+                self.srtt = Some(rtt_s);
+                self.rttvar = rtt_s / 2.0;
+            }
+            Some(srtt) => {
+                let err = rtt_s - srtt;
+                self.rttvar = (1.0 - BETA) * self.rttvar + BETA * err.abs();
+                self.srtt = Some(srtt + ALPHA * err);
+            }
+        }
+        self.backoff = 0;
+    }
+
+    /// Records a sample from transmission/arrival timestamps.
+    pub fn sample_times(&mut self, tx_at: Time, now: Time) {
+        if now > tx_at {
+            self.sample((now - tx_at) as f64 / 1e9);
+        }
+    }
+
+    /// Smoothed RTT in seconds, or `default` before the first sample.
+    pub fn srtt_or(&self, default: f64) -> f64 {
+        self.srtt.unwrap_or(default)
+    }
+
+    /// Smoothed RTT in milliseconds (0 before the first sample).
+    pub fn srtt_ms(&self) -> f64 {
+        self.srtt.unwrap_or(0.0) * 1e3
+    }
+
+    /// Current retransmission timeout including backoff.
+    pub fn rto(&self) -> TimeDelta {
+        let base = match self.srtt {
+            None => time::millis(1000),
+            Some(srtt) => time::secs(srtt + 4.0 * self.rttvar),
+        };
+        base.clamp(self.min_rto, self.max_rto)
+            .saturating_mul(1u64 << self.backoff.min(6))
+            .min(self.max_rto)
+    }
+
+    /// Doubles the RTO after a retransmission timeout (Karn backoff).
+    pub fn on_timeout(&mut self) {
+        self.backoff = (self.backoff + 1).min(6);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_netsim::time::millis;
+
+    fn est() -> RttEstimator {
+        RttEstimator::new(millis(100), time::secs(4.0))
+    }
+
+    #[test]
+    fn initial_rto_is_one_second() {
+        assert_eq!(est().rto(), millis(1000));
+    }
+
+    #[test]
+    fn converges_on_stable_rtt() {
+        let mut e = est();
+        for _ in 0..50 {
+            e.sample(0.030);
+        }
+        assert!((e.srtt_or(0.0) - 0.030).abs() < 1e-6);
+        assert!((e.srtt_ms() - 30.0).abs() < 1e-3);
+        // Variance decays toward zero, so RTO clamps to the floor.
+        assert_eq!(e.rto(), millis(100));
+    }
+
+    #[test]
+    fn rto_tracks_variance() {
+        let mut e = est();
+        e.sample(0.1);
+        // First sample: srtt=0.1, rttvar=0.05 => rto = 0.3 s.
+        assert_eq!(e.rto(), millis(300));
+    }
+
+    #[test]
+    fn backoff_doubles_and_resets() {
+        let mut e = est();
+        e.sample(0.1);
+        let base = e.rto();
+        e.on_timeout();
+        assert_eq!(e.rto(), (base * 2).min(time::secs(4.0)));
+        e.on_timeout();
+        assert_eq!(e.rto(), (base * 4).min(time::secs(4.0)));
+        e.sample(0.1);
+        assert!(e.rto() <= base + millis(1));
+    }
+
+    #[test]
+    fn rto_respects_max() {
+        let mut e = est();
+        e.sample(2.0);
+        for _ in 0..10 {
+            e.on_timeout();
+        }
+        assert_eq!(e.rto(), time::secs(4.0));
+    }
+
+    #[test]
+    fn sample_times_ignores_clock_anomalies() {
+        let mut e = est();
+        e.sample_times(100, 50); // now < tx_at: ignored
+        assert_eq!(e.srtt_ms(), 0.0);
+        e.sample_times(0, 30_000_000);
+        assert!((e.srtt_ms() - 30.0).abs() < 1e-9);
+    }
+}

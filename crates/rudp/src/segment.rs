@@ -1,0 +1,164 @@
+//! RUDP wire segments.
+//!
+//! Segments are never serialized to bytes; they travel through the
+//! simulator as typed payloads while their wire footprint is modelled by
+//! [`wire_size`]. The format follows the Reliable UDP draft's shape
+//! (SYN/ACK/EACK/data) extended with the adaptive-reliability fields the
+//! paper requires: a per-datagram `marked` bit (sender packet priority
+//! marking) and a `fwd_seq` floor that lets the sender abandon unmarked
+//! losses (receiver loss tolerance).
+
+use iq_netsim::Time;
+
+/// Modelled IP + UDP + RUDP header bytes per segment.
+pub const HEADER_BYTES: u32 = 44;
+
+/// Wire bytes of an ACK segment (header + cumulative ack + SACK summary).
+pub const ACK_BYTES: u32 = HEADER_BYTES + 16;
+
+/// Default maximum RUDP segment payload (paper §3.1: 1400 bytes).
+pub const DEFAULT_MSS: u32 = 1400;
+
+/// A data segment: one fragment of one application message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DataSeg {
+    /// Segment sequence number (one per fragment, increasing).
+    pub seq: u64,
+    /// Application message this fragment belongs to.
+    pub msg_id: u64,
+    /// Index of this fragment within the message.
+    pub frag_idx: u16,
+    /// Total fragments in the message.
+    pub frag_count: u16,
+    /// Payload bytes carried by this fragment.
+    pub len: u32,
+    /// Whether the datagram is marked (tagged = must be delivered).
+    pub marked: bool,
+    /// Receiver may treat every seq below this as abandoned by the
+    /// sender (adaptive-reliability skip, like PR-SCTP's FORWARD-TSN).
+    pub fwd_seq: u64,
+    /// When the application emitted the message (end-to-end latency).
+    pub msg_sent_at: Time,
+    /// When this particular transmission left the sender (RTT echo).
+    pub tx_at: Time,
+    /// True for retransmissions (Karn's rule: no RTT sample).
+    pub retransmit: bool,
+}
+
+/// A cumulative + selective acknowledgement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AckSeg {
+    /// Next sequence number the receiver still needs (everything below
+    /// was delivered or skipped).
+    pub cum_ack: u64,
+    /// Highest sequence number received so far (enables hole detection
+    /// without shipping full SACK lists through the model).
+    pub highest_seen: u64,
+    /// Received ranges above `cum_ack`, `[start, end)`, capped in length.
+    pub sack: Vec<(u64, u64)>,
+    /// Remaining receive-buffer space, in segments (flow control).
+    pub recv_window: u32,
+    /// The receiver's *current* loss tolerance: the paper's adaptive
+    /// reliability lets the receiver change its tolerance during the
+    /// connection (§2.1), so every ACK re-advertises it.
+    pub loss_tolerance: f64,
+    /// `tx_at` of the segment that triggered this ACK; `None` when that
+    /// segment was a retransmission (Karn) or the ACK is a duplicate.
+    pub echo_tx_at: Option<Time>,
+}
+
+/// All RUDP segment types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Segment {
+    /// Connection request carrying the sender's initial sequence number.
+    Syn {
+        /// First data sequence number the sender will use.
+        init_seq: u64,
+    },
+    /// Connection accept carrying receiver parameters.
+    SynAck {
+        /// Receiver's adaptive-reliability loss tolerance in `[0, 1]`.
+        loss_tolerance: f64,
+        /// Initial advertised receive window, in segments.
+        recv_window: u32,
+    },
+    /// One fragment of application data.
+    Data(DataSeg),
+    /// Acknowledgement.
+    Ack(AckSeg),
+    /// Standalone skip notification, sent when the sender abandons
+    /// unmarked data and has no data segment to piggyback `fwd_seq` on.
+    Fwd {
+        /// New floor: receiver should not wait for anything below this.
+        fwd_seq: u64,
+    },
+    /// End of stream: no sequence at or above `final_seq` will be sent.
+    Fin {
+        /// One past the last sequence number used.
+        final_seq: u64,
+    },
+    /// Acknowledges a `Fin`.
+    FinAck,
+}
+
+/// A segment stamped with the connection it belongs to; this is the
+/// payload type placed in simulator packets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RudpPacket {
+    /// Connection identifier (demultiplexing and sanity checks).
+    pub conn_id: u32,
+    /// The segment.
+    pub segment: Segment,
+}
+
+/// Wire size in bytes of a segment, for queueing and serialization.
+pub fn wire_size(seg: &Segment) -> u32 {
+    match seg {
+        Segment::Data(d) => HEADER_BYTES + d.len,
+        Segment::Ack(_) => ACK_BYTES,
+        Segment::Syn { .. }
+        | Segment::SynAck { .. }
+        | Segment::Fwd { .. }
+        | Segment::Fin { .. }
+        | Segment::FinAck => HEADER_BYTES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(len: u32) -> Segment {
+        Segment::Data(DataSeg {
+            seq: 0,
+            msg_id: 0,
+            frag_idx: 0,
+            frag_count: 1,
+            len,
+            marked: true,
+            fwd_seq: 0,
+            msg_sent_at: 0,
+            tx_at: 0,
+            retransmit: false,
+        })
+    }
+
+    #[test]
+    fn wire_sizes() {
+        assert_eq!(wire_size(&data(1400)), 1444);
+        assert_eq!(wire_size(&data(0)), 44);
+        assert_eq!(
+            wire_size(&Segment::Ack(AckSeg {
+                cum_ack: 0,
+                highest_seen: 0,
+                sack: vec![],
+                recv_window: 10,
+                loss_tolerance: 0.0,
+                echo_tx_at: None,
+            })),
+            60
+        );
+        assert_eq!(wire_size(&Segment::Fin { final_seq: 9 }), 44);
+        assert_eq!(wire_size(&Segment::Syn { init_seq: 0 }), 44);
+    }
+}

@@ -1,0 +1,839 @@
+//! The sending half of an RUDP connection: a pure state machine with no
+//! dependency on the simulator's event loop. Inputs are incoming
+//! segments, clock ticks, and application messages; outputs are segments
+//! to transmit (via [`SenderConn::poll_transmit`]) and [`ConnEvent`]s.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use iq_netsim::Time;
+
+use crate::cc::LdaWindow;
+use crate::meter::{NetCond, PeriodMeter};
+use crate::rtt::RttEstimator;
+use crate::segment::{AckSeg, DataSeg, Segment};
+use crate::types::{ConnEvent, RudpConfig, SendOutcome, SenderStats};
+
+/// Where the measured error ratio sits relative to the registered
+/// callback thresholds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ThreshZone {
+    Low,
+    Mid,
+    High,
+}
+
+/// Connection lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SenderState {
+    /// Not yet started; a SYN will be emitted on the first poll.
+    Idle,
+    /// SYN sent, waiting for SYN-ACK.
+    SynSent,
+    /// Data transfer.
+    Established,
+    /// FIN sent, waiting for FIN-ACK.
+    FinSent,
+    /// Fully closed.
+    Closed,
+}
+
+/// A fragment waiting for its first transmission.
+#[derive(Debug, Clone)]
+struct PendingFrag {
+    msg_id: u64,
+    frag_idx: u16,
+    frag_count: u16,
+    len: u32,
+    marked: bool,
+    msg_sent_at: Time,
+}
+
+/// An unacknowledged transmitted fragment.
+#[derive(Debug, Clone)]
+struct InFlight {
+    frag: PendingFrag,
+    /// Last transmission time.
+    tx_at: Time,
+    /// Whether it has ever been retransmitted (Karn).
+    retransmitted: bool,
+    /// Number of ACKs that covered data above this seq without covering
+    /// it (loss-detection counter).
+    dup_hint: u32,
+    /// Declared lost and waiting in the retransmit queue.
+    lost_pending: bool,
+}
+
+/// The sending endpoint state machine.
+pub struct SenderConn {
+    cfg: RudpConfig,
+    conn_id: u32,
+    state: SenderState,
+    /// Next sequence number to assign at first transmission.
+    next_seq: u64,
+    /// Fragments not yet transmitted for the first time.
+    queue: VecDeque<PendingFrag>,
+    /// Sequence numbers awaiting retransmission.
+    retx_queue: VecDeque<u64>,
+    /// Transmitted but not yet acked/abandoned, keyed by seq.
+    inflight: BTreeMap<u64, InFlight>,
+    /// Peer's advertised window, segments.
+    peer_window: u32,
+    /// Peer's loss tolerance, learned from the SYN-ACK.
+    peer_tolerance: f64,
+    /// Whether a standalone `Fwd` must be emitted.
+    fwd_dirty: bool,
+    /// Whether the SYN (or FIN) needs (re)sending.
+    handshake_dirty: bool,
+    handshake_deadline: Time,
+    window: LdaWindow,
+    rtt: RttEstimator,
+    meter: PeriodMeter,
+    events: Vec<ConnEvent>,
+    next_msg_id: u64,
+    finish_requested: bool,
+    discard_unmarked: bool,
+    abandoned_total: u64,
+    thresh_zone: ThreshZone,
+    stats: SenderStats,
+}
+
+impl SenderConn {
+    /// Creates a sender for connection `conn_id`.
+    pub fn new(conn_id: u32, cfg: RudpConfig) -> Self {
+        let window = LdaWindow::new(cfg.cc.clone());
+        let meter = PeriodMeter::new(cfg.measure_period);
+        let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
+        let discard_unmarked = cfg.discard_unmarked;
+        Self {
+            cfg,
+            conn_id,
+            state: SenderState::Idle,
+            next_seq: 0,
+            queue: VecDeque::new(),
+            retx_queue: VecDeque::new(),
+            inflight: BTreeMap::new(),
+            peer_window: 1,
+            peer_tolerance: 0.0,
+            fwd_dirty: false,
+            handshake_dirty: true,
+            handshake_deadline: 0,
+            window,
+            rtt,
+            meter,
+            events: Vec::new(),
+            next_msg_id: 0,
+            finish_requested: false,
+            discard_unmarked,
+            abandoned_total: 0,
+            thresh_zone: ThreshZone::Mid,
+            stats: SenderStats::default(),
+        }
+    }
+
+    /// Connection identifier.
+    pub fn conn_id(&self) -> u32 {
+        self.conn_id
+    }
+
+    /// Current lifecycle state.
+    pub fn state(&self) -> SenderState {
+        self.state
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SenderStats {
+        self.stats
+    }
+
+    /// Most recent network-condition snapshot.
+    pub fn net_cond(&self) -> NetCond {
+        let mut c = self.meter.last();
+        c.srtt_ms = self.rtt.srtt_ms();
+        c.cwnd = self.window.cwnd();
+        c
+    }
+
+    /// Current congestion window, segments.
+    pub fn cwnd(&self) -> f64 {
+        self.window.cwnd()
+    }
+
+    /// Applies a coordination re-adjustment to the window (IQ-RUDP's
+    /// reaction to a reported application adaptation).
+    pub fn scale_cwnd(&mut self, factor: f64) {
+        self.window.scale(factor);
+    }
+
+    /// Toggles discard-unmarked coordination.
+    pub fn set_discard_unmarked(&mut self, on: bool) {
+        self.discard_unmarked = on;
+    }
+
+    /// Whether discard-unmarked coordination is active.
+    pub fn discard_unmarked(&self) -> bool {
+        self.discard_unmarked
+    }
+
+    /// Peer loss tolerance learned during the handshake.
+    pub fn peer_tolerance(&self) -> f64 {
+        self.peer_tolerance
+    }
+
+    /// Untransmitted + unacknowledged segments (application back-pressure
+    /// signal).
+    pub fn backlog_segments(&self) -> usize {
+        self.queue.len() + self.inflight.len()
+    }
+
+    /// Whether everything submitted has been delivered or abandoned and
+    /// the connection closed.
+    pub fn is_closed(&self) -> bool {
+        self.state == SenderState::Closed
+    }
+
+    /// Drains pending events.
+    pub fn take_events(&mut self) -> Vec<ConnEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Submits an application message of `size` bytes.
+    ///
+    /// The message is fragmented into MSS-sized segments. Returns
+    /// [`SendOutcome::Discarded`] when the message is unmarked and
+    /// discard-unmarked coordination is active.
+    pub fn send_message(&mut self, now: Time, size: u32, marked: bool) -> SendOutcome {
+        assert!(size > 0, "empty messages are not allowed");
+        if self.discard_unmarked && !marked {
+            self.stats.msgs_discarded += 1;
+            return SendOutcome::Discarded;
+        }
+        let msg_id = self.next_msg_id;
+        self.next_msg_id += 1;
+        self.stats.msgs_submitted += 1;
+        let frag_count = size.div_ceil(self.cfg.mss).max(1) as u16;
+        let mut remaining = size;
+        for idx in 0..frag_count {
+            let len = remaining.min(self.cfg.mss);
+            remaining -= len;
+            self.queue.push_back(PendingFrag {
+                msg_id,
+                frag_idx: idx,
+                frag_count,
+                len,
+                marked,
+                msg_sent_at: now,
+            });
+        }
+        SendOutcome::Queued {
+            msg_id,
+            fragments: frag_count,
+        }
+    }
+
+    /// Signals that the application will send no more messages; a FIN
+    /// follows once everything outstanding completes.
+    pub fn finish(&mut self) {
+        self.finish_requested = true;
+    }
+
+    /// All sequence numbers below this are acknowledged or abandoned.
+    fn done_floor(&self) -> u64 {
+        self.inflight
+            .keys()
+            .next()
+            .copied()
+            .unwrap_or(self.next_seq)
+    }
+
+    /// Whether the loss tolerance admits abandoning one more segment.
+    fn may_abandon(&self) -> bool {
+        if self.peer_tolerance <= 0.0 {
+            return false;
+        }
+        let completed = self.stats.segments_acked + self.abandoned_total;
+        if completed == 0 {
+            return true;
+        }
+        ((self.abandoned_total + 1) as f64 / (completed + 1) as f64) < self.peer_tolerance
+    }
+
+    /// Handles a segment declared lost: retransmit or abandon.
+    fn on_segment_lost(&mut self, seq: u64) {
+        let Some(entry) = self.inflight.get(&seq) else {
+            return;
+        };
+        if entry.lost_pending {
+            return;
+        }
+        let marked = entry.frag.marked;
+        self.meter.on_loss();
+        if marked || !self.may_abandon() {
+            let entry = self.inflight.get_mut(&seq).expect("checked above");
+            entry.lost_pending = true;
+            self.retx_queue.push_back(seq);
+        } else {
+            self.inflight.remove(&seq);
+            self.abandoned_total += 1;
+            self.stats.segments_abandoned += 1;
+            self.fwd_dirty = true;
+        }
+    }
+
+    /// Processes an incoming segment.
+    pub fn on_segment(&mut self, now: Time, seg: &Segment) {
+        match seg {
+            Segment::SynAck {
+                loss_tolerance,
+                recv_window,
+            } => {
+                if self.state == SenderState::SynSent || self.state == SenderState::Idle {
+                    self.state = SenderState::Established;
+                    self.peer_tolerance = *loss_tolerance;
+                    self.peer_window = (*recv_window).max(1);
+                    self.events.push(ConnEvent::Connected);
+                }
+            }
+            Segment::Ack(ack) => self.on_ack(now, ack),
+            Segment::FinAck => {
+                if self.state == SenderState::FinSent {
+                    self.state = SenderState::Closed;
+                    self.events.push(ConnEvent::Finished);
+                }
+            }
+            // Data/Syn/Fwd/Fin are receiver-bound; ignore.
+            _ => {}
+        }
+    }
+
+    fn on_ack(&mut self, now: Time, ack: &AckSeg) {
+        if self.state != SenderState::Established && self.state != SenderState::FinSent {
+            return;
+        }
+        if let Some(tx_at) = ack.echo_tx_at {
+            self.rtt.sample_times(tx_at, now);
+        }
+        self.peer_window = ack.recv_window.max(1);
+        // The receiver may have re-adapted its reliability requirement.
+        self.peer_tolerance = ack.loss_tolerance;
+
+        // Cumulative: everything below cum_ack is done at the receiver.
+        let cum_done: Vec<u64> = self
+            .inflight
+            .range(..ack.cum_ack)
+            .map(|(&s, _)| s)
+            .collect();
+        for seq in cum_done {
+            let e = self.inflight.remove(&seq).expect("seq in range");
+            self.note_acked(&e);
+        }
+        // Selective: ranges above cum_ack.
+        for &(start, end) in &ack.sack {
+            let sacked: Vec<u64> = self
+                .inflight
+                .range(start..end)
+                .map(|(&s, _)| s)
+                .collect();
+            for seq in sacked {
+                let e = self.inflight.remove(&seq).expect("seq in range");
+                self.note_acked(&e);
+            }
+        }
+        // Loss detection: anything still in flight below the highest
+        // sequence the receiver has seen gathers a dup hint per ACK.
+        let mut newly_lost = Vec::new();
+        for (&seq, entry) in self.inflight.range_mut(..ack.highest_seen) {
+            if entry.lost_pending {
+                continue;
+            }
+            entry.dup_hint += 1;
+            if entry.dup_hint >= self.cfg.dupack_threshold {
+                newly_lost.push(seq);
+            }
+        }
+        for seq in newly_lost {
+            self.on_segment_lost(seq);
+        }
+    }
+
+    fn note_acked(&mut self, e: &InFlight) {
+        self.stats.segments_acked += 1;
+        self.stats.bytes_acked += u64::from(e.frag.len);
+        self.meter.on_acked(u64::from(e.frag.len));
+    }
+
+    /// Clock tick: retransmission timeouts, handshake retries, and
+    /// measuring-period rollover.
+    pub fn on_tick(&mut self, now: Time) {
+        match self.state {
+            SenderState::SynSent | SenderState::FinSent => {
+                if now >= self.handshake_deadline {
+                    self.handshake_dirty = true;
+                    self.rtt.on_timeout();
+                }
+            }
+            SenderState::Established => {
+                // RTO on the earliest outstanding segment.
+                if let Some((&seq, entry)) = self
+                    .inflight
+                    .iter()
+                    .find(|(_, e)| !e.lost_pending)
+                {
+                    if now >= entry.tx_at + self.rtt.rto() {
+                        self.stats.timeouts += 1;
+                        self.rtt.on_timeout();
+                        self.window.on_timeout();
+                        self.on_segment_lost(seq);
+                    }
+                }
+                // Measuring period.
+                let srtt_ms = self.rtt.srtt_ms();
+                let cwnd = self.window.cwnd();
+                if let Some(cond) = self.meter.maybe_roll(now, srtt_ms, cwnd) {
+                    self.window.on_period(cond.eratio);
+                    let mut cond = cond;
+                    cond.cwnd = self.window.cwnd();
+                    self.events.push(ConnEvent::PeriodEnded(cond));
+                    // Threshold callbacks are level-triggered per
+                    // measuring period: the application reduces "by a
+                    // degree proportional to the loss ratio" while above
+                    // the upper threshold and recovers "at a fixed rate
+                    // when the loss is below a certain threshold" (§3.2).
+                    // Applications rate-limit their own reactions (the
+                    // adaptation-granularity story of §3.5).
+                    let zone = if self.cfg.upper_threshold.is_some_and(|u| cond.eratio >= u) {
+                        ThreshZone::High
+                    } else if self.cfg.lower_threshold.is_some_and(|l| cond.eratio <= l) {
+                        ThreshZone::Low
+                    } else {
+                        ThreshZone::Mid
+                    };
+                    if zone == ThreshZone::High {
+                        self.events.push(ConnEvent::UpperThreshold(cond));
+                    }
+                    if zone == ThreshZone::Low && self.cfg.lower_threshold.is_some() {
+                        self.events.push(ConnEvent::LowerThreshold(cond));
+                    }
+                    self.thresh_zone = zone;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Earliest time at which [`Self::on_tick`] must run again.
+    pub fn next_timeout(&self, _now: Time) -> Option<Time> {
+        match self.state {
+            SenderState::Closed => None,
+            SenderState::Idle => Some(0),
+            SenderState::SynSent | SenderState::FinSent => Some(self.handshake_deadline),
+            SenderState::Established => {
+                let mut t = self.meter.deadline();
+                if let Some(entry) = self.inflight.values().find(|e| !e.lost_pending) {
+                    t = t.min(entry.tx_at + self.rtt.rto());
+                }
+                Some(t)
+            }
+        }
+    }
+
+    /// Whether a new (never-transmitted) segment fits in the windows.
+    fn can_send_new(&self) -> bool {
+        let window = self
+            .window
+            .cwnd_segments()
+            .min(self.peer_window)
+            .max(1) as usize;
+        self.inflight.len() < window
+    }
+
+    /// Produces the next segment to put on the wire, if any.
+    pub fn poll_transmit(&mut self, now: Time) -> Option<Segment> {
+        match self.state {
+            SenderState::Idle => {
+                self.state = SenderState::SynSent;
+                self.handshake_deadline = now + self.rtt.rto();
+                self.handshake_dirty = false;
+                Some(Segment::Syn { init_seq: 0 })
+            }
+            SenderState::SynSent => {
+                if self.handshake_dirty {
+                    self.handshake_dirty = false;
+                    self.handshake_deadline = now + self.rtt.rto();
+                    Some(Segment::Syn { init_seq: 0 })
+                } else {
+                    None
+                }
+            }
+            SenderState::Established => self.poll_established(now),
+            SenderState::FinSent => {
+                if self.handshake_dirty {
+                    self.handshake_dirty = false;
+                    self.handshake_deadline = now + self.rtt.rto();
+                    Some(Segment::Fin {
+                        final_seq: self.next_seq,
+                    })
+                } else {
+                    None
+                }
+            }
+            SenderState::Closed => None,
+        }
+    }
+
+    fn poll_established(&mut self, now: Time) -> Option<Segment> {
+        let fwd_seq = self.done_floor();
+        // 1. Standalone skip notification after abandonment.
+        if self.fwd_dirty {
+            self.fwd_dirty = false;
+            return Some(Segment::Fwd { fwd_seq });
+        }
+        // 2. Retransmissions (window-exempt: they do not grow in-flight).
+        while let Some(seq) = self.retx_queue.pop_front() {
+            let Some(entry) = self.inflight.get_mut(&seq) else {
+                continue; // acked or abandoned meanwhile
+            };
+            entry.tx_at = now;
+            entry.retransmitted = true;
+            entry.dup_hint = 0;
+            entry.lost_pending = false;
+            self.stats.segments_sent += 1;
+            self.stats.retransmits += 1;
+            self.meter.on_send();
+            let f = &entry.frag;
+            return Some(Segment::Data(DataSeg {
+                seq,
+                msg_id: f.msg_id,
+                frag_idx: f.frag_idx,
+                frag_count: f.frag_count,
+                len: f.len,
+                marked: f.marked,
+                fwd_seq,
+                msg_sent_at: f.msg_sent_at,
+                tx_at: now,
+                retransmit: true,
+            }));
+        }
+        // 3. Fresh data within the congestion/flow windows.
+        if self.can_send_new() {
+            if let Some(frag) = self.queue.pop_front() {
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                self.stats.segments_sent += 1;
+                self.meter.on_send();
+                let seg = DataSeg {
+                    seq,
+                    msg_id: frag.msg_id,
+                    frag_idx: frag.frag_idx,
+                    frag_count: frag.frag_count,
+                    len: frag.len,
+                    marked: frag.marked,
+                    fwd_seq,
+                    msg_sent_at: frag.msg_sent_at,
+                    tx_at: now,
+                    retransmit: false,
+                };
+                self.inflight.insert(
+                    seq,
+                    InFlight {
+                        frag,
+                        tx_at: now,
+                        retransmitted: false,
+                        dup_hint: 0,
+                        lost_pending: false,
+                    },
+                );
+                return Some(Segment::Data(seg));
+            }
+        }
+        // 4. Graceful close once everything is finished.
+        if self.finish_requested && self.queue.is_empty() && self.inflight.is_empty() {
+            self.state = SenderState::FinSent;
+            self.handshake_deadline = now + self.rtt.rto();
+            self.handshake_dirty = false;
+            return Some(Segment::Fin {
+                final_seq: self.next_seq,
+            });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::Segment as S;
+    use iq_netsim::time::millis;
+
+    fn establish(conn: &mut SenderConn, now: Time) {
+        let syn = conn.poll_transmit(now).expect("syn");
+        assert!(matches!(syn, S::Syn { .. }));
+        conn.on_segment(
+            now,
+            &S::SynAck {
+                loss_tolerance: 0.4,
+                recv_window: 1024,
+            },
+        );
+        assert_eq!(conn.state(), SenderState::Established);
+    }
+
+    fn ack_tol(cum: u64, highest: u64, tolerance: f64) -> S {
+        S::Ack(AckSeg {
+            cum_ack: cum,
+            highest_seen: highest,
+            sack: vec![],
+            recv_window: 1024,
+            loss_tolerance: tolerance,
+            echo_tx_at: None,
+        })
+    }
+
+    /// ACK matching the 0.4-tolerance handshake used by `establish`.
+    fn ack(cum: u64, highest: u64) -> S {
+        ack_tol(cum, highest, 0.4)
+    }
+
+    #[test]
+    fn handshake_then_data_flows() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0);
+        assert!(matches!(
+            c.take_events().as_slice(),
+            [ConnEvent::Connected]
+        ));
+        c.send_message(0, 2800, true);
+        // cwnd starts at 2: exactly two segments may fly.
+        let a = c.poll_transmit(0).unwrap();
+        let b = c.poll_transmit(0).unwrap();
+        assert!(matches!(a, S::Data(ref d) if d.seq == 0 && d.len == 1400));
+        assert!(matches!(b, S::Data(ref d) if d.seq == 1 && d.frag_idx == 1));
+        assert!(c.poll_transmit(0).is_none(), "window exhausted");
+        // Ack both; nothing left.
+        c.on_segment(millis(30), &ack(2, 1));
+        assert_eq!(c.backlog_segments(), 0);
+        assert_eq!(c.stats().segments_acked, 2);
+        assert_eq!(c.stats().bytes_acked, 2800);
+    }
+
+    #[test]
+    fn fragmentation_counts() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0);
+        match c.send_message(0, 4200, true) {
+            SendOutcome::Queued { fragments, .. } => assert_eq!(fragments, 3),
+            other => panic!("{other:?}"),
+        }
+        match c.send_message(0, 1, true) {
+            SendOutcome::Queued { fragments, .. } => assert_eq!(fragments, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn discard_unmarked_drops_at_api() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0);
+        c.set_discard_unmarked(true);
+        assert_eq!(c.send_message(0, 100, false), SendOutcome::Discarded);
+        assert!(matches!(
+            c.send_message(0, 100, true),
+            SendOutcome::Queued { .. }
+        ));
+        assert_eq!(c.stats().msgs_discarded, 1);
+        assert_eq!(c.stats().msgs_submitted, 1);
+    }
+
+    #[test]
+    fn dup_hints_trigger_fast_retransmit_of_marked() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0);
+        // Grow the window so several segments can fly.
+        c.scale_cwnd(8.0);
+        for _ in 0..5 {
+            c.send_message(0, 1400, true);
+        }
+        let mut seqs = vec![];
+        while let Some(S::Data(d)) = c.poll_transmit(0) {
+            seqs.push(d.seq);
+        }
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4]);
+        // Receiver saw 1..5 but not 0: three acks with growing evidence.
+        for highest in [2, 3, 4] {
+            c.on_segment(
+                millis(10),
+                &S::Ack(AckSeg {
+                    cum_ack: 0,
+                    highest_seen: highest,
+                    sack: vec![(1, highest)],
+                    recv_window: 1024,
+                    loss_tolerance: 0.4,
+                    echo_tx_at: None,
+                }),
+            );
+        }
+        // Seq 0 is now lost-pending; the next poll retransmits it.
+        match c.poll_transmit(millis(11)) {
+            Some(S::Data(d)) => {
+                assert_eq!(d.seq, 0);
+                assert!(d.retransmit);
+            }
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+        assert_eq!(c.stats().retransmits, 1);
+    }
+
+    #[test]
+    fn unmarked_losses_are_abandoned_within_tolerance() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0); // tolerance 0.4 from the test SynAck
+        c.scale_cwnd(8.0);
+        // One unmarked message then several marked.
+        c.send_message(0, 1400, false);
+        for _ in 0..4 {
+            c.send_message(0, 1400, true);
+        }
+        while c.poll_transmit(0).is_some() {}
+        // Seq 0 (unmarked) goes missing.
+        for highest in [2, 3, 4] {
+            c.on_segment(
+                millis(10),
+                &S::Ack(AckSeg {
+                    cum_ack: 0,
+                    highest_seen: highest,
+                    sack: vec![(1, highest)],
+                    recv_window: 1024,
+                    loss_tolerance: 0.4,
+                    echo_tx_at: None,
+                }),
+            );
+        }
+        assert_eq!(c.stats().segments_abandoned, 1);
+        // A standalone Fwd is emitted so the receiver can skip seq 0.
+        match c.poll_transmit(millis(11)) {
+            Some(S::Fwd { fwd_seq }) => assert!(fwd_seq >= 1),
+            other => panic!("expected Fwd, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zero_tolerance_never_abandons() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        let syn = c.poll_transmit(0);
+        assert!(syn.is_some());
+        c.on_segment(
+            0,
+            &S::SynAck {
+                loss_tolerance: 0.0,
+                recv_window: 1024,
+            },
+        );
+        c.scale_cwnd(8.0);
+        c.send_message(0, 1400, false);
+        for _ in 0..4 {
+            c.send_message(0, 1400, true);
+        }
+        while c.poll_transmit(0).is_some() {}
+        for highest in [2, 3, 4] {
+            c.on_segment(millis(10), &ack_tol(0, highest, 0.0));
+        }
+        assert_eq!(c.stats().segments_abandoned, 0);
+        // It must be queued for retransmission instead.
+        match c.poll_transmit(millis(11)) {
+            Some(S::Data(d)) => assert!(d.retransmit && d.seq == 0),
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rto_fires_and_halves_window() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0);
+        c.scale_cwnd(8.0); // cwnd 16
+        c.send_message(0, 1400, true);
+        let _ = c.poll_transmit(0);
+        let cwnd_before = c.cwnd();
+        // No acks; tick past the initial RTO (1 s).
+        c.on_tick(millis(1100));
+        assert_eq!(c.stats().timeouts, 1);
+        assert!(c.cwnd() < cwnd_before);
+        match c.poll_transmit(millis(1100)) {
+            Some(S::Data(d)) => assert!(d.retransmit),
+            other => panic!("expected retransmit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn period_events_and_thresholds() {
+        let cfg = RudpConfig {
+            upper_threshold: Some(0.3),
+            lower_threshold: Some(0.05),
+            ..RudpConfig::default()
+        };
+        let mut c = SenderConn::new(1, cfg);
+        establish(&mut c, 0);
+        c.take_events();
+        // Clean period: lower-threshold callback fires (eratio 0).
+        c.on_tick(millis(100));
+        let evs = c.take_events();
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, ConnEvent::PeriodEnded(_))));
+        assert!(evs
+            .iter()
+            .any(|e| matches!(e, ConnEvent::LowerThreshold(_))));
+        assert!(!evs
+            .iter()
+            .any(|e| matches!(e, ConnEvent::UpperThreshold(_))));
+    }
+
+    #[test]
+    fn fin_handshake_closes() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        establish(&mut c, 0);
+        c.send_message(0, 100, true);
+        let _ = c.poll_transmit(0);
+        c.finish();
+        assert!(c.poll_transmit(0).is_none(), "fin waits for acks");
+        c.on_segment(millis(10), &ack(1, 0));
+        match c.poll_transmit(millis(10)) {
+            Some(S::Fin { final_seq }) => assert_eq!(final_seq, 1),
+            other => panic!("expected Fin, got {other:?}"),
+        }
+        c.on_segment(millis(40), &S::FinAck);
+        assert!(c.is_closed());
+        assert!(c
+            .take_events()
+            .iter()
+            .any(|e| matches!(e, ConnEvent::Finished)));
+    }
+
+    #[test]
+    fn flow_control_respects_peer_window() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        let _ = c.poll_transmit(0);
+        c.on_segment(
+            0,
+            &S::SynAck {
+                loss_tolerance: 0.0,
+                recv_window: 1, // tiny receiver
+            },
+        );
+        c.scale_cwnd(16.0);
+        c.send_message(0, 4200, true);
+        assert!(c.poll_transmit(0).is_some());
+        assert!(c.poll_transmit(0).is_none(), "peer window is 1");
+    }
+
+    #[test]
+    fn syn_retries_until_synack() {
+        let mut c = SenderConn::new(1, RudpConfig::default());
+        assert!(matches!(c.poll_transmit(0), Some(S::Syn { .. })));
+        assert!(c.poll_transmit(millis(10)).is_none());
+        // Initial RTO is 1 s; tick past it.
+        c.on_tick(millis(1001));
+        assert!(matches!(
+            c.poll_transmit(millis(1001)),
+            Some(S::Syn { .. })
+        ));
+    }
+}

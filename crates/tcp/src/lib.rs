@@ -1,0 +1,22 @@
+//! # iq-tcp
+//!
+//! A TCP Reno model (slow start, congestion avoidance, fast
+//! retransmit/recovery, retransmission timeouts) used as the baseline
+//! transport in the IQ-RUDP evaluation (Tables 1 and 2). It shares the
+//! simulator substrate and message-framing conventions with `iq-rudp`
+//! so that experiment harnesses can swap transports freely.
+
+#![warn(missing_docs)]
+
+pub mod endpoint;
+pub mod receiver;
+pub mod rtt;
+pub mod segment;
+pub mod sender;
+
+pub use endpoint::{
+    TcpBulkSenderAgent, TcpReceiverDriver, TcpSenderDriver, TcpSinkAgent, TCP_TIMER_TOKEN,
+};
+pub use receiver::{TcpDeliveredMsg, TcpReceiverConn, TcpReceiverStats};
+pub use segment::{tcp_wire_size, TcpAckSeg, TcpDataSeg, TcpPacket, TcpSegment};
+pub use sender::{TcpConfig, TcpEvent, TcpSenderConn, TcpSenderStats};

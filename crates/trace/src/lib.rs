@@ -1,0 +1,13 @@
+//! # iq-trace
+//!
+//! Workload traces for the IQ-RUDP reproduction: a synthetic MBone-style
+//! membership-dynamics generator (standing in for the paper's Figure 1
+//! trace) and frame schedules derived from it.
+
+#![warn(missing_docs)]
+
+pub mod membership;
+pub mod schedule;
+
+pub use membership::{MembershipConfig, MembershipTrace};
+pub use schedule::FrameSchedule;

@@ -1,0 +1,100 @@
+//! Frame schedules: when each application frame is emitted and how big it
+//! is. Produced from a membership trace plus a frame rate, consumed by the
+//! application sources in `iq-echo` and `iq-workload`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::membership::MembershipTrace;
+
+/// A fixed-rate schedule of frames.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FrameSchedule {
+    /// Frames per second at which the source emits.
+    pub fps: f64,
+    /// Frame sizes in bytes, in emission order.
+    pub sizes: Vec<u32>,
+}
+
+impl FrameSchedule {
+    /// Builds a schedule from a membership trace.
+    pub fn from_trace(trace: &MembershipTrace, bytes_per_member: u32, fps: f64) -> Self {
+        Self {
+            fps,
+            sizes: trace.frame_sizes(bytes_per_member),
+        }
+    }
+
+    /// Constant-size schedule of `n` frames.
+    pub fn constant(size: u32, n: usize, fps: f64) -> Self {
+        Self {
+            fps,
+            sizes: vec![size; n],
+        }
+    }
+
+    /// Interval between frame emissions, in nanoseconds.
+    pub fn frame_interval_ns(&self) -> u64 {
+        if self.fps <= 0.0 {
+            return 0;
+        }
+        (1e9 / self.fps) as u64
+    }
+
+    /// Total payload bytes over the whole schedule.
+    pub fn total_bytes(&self) -> u64 {
+        self.sizes.iter().map(|&s| u64::from(s)).sum()
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Whether the schedule has no frames.
+    pub fn is_empty(&self) -> bool {
+        self.sizes.is_empty()
+    }
+
+    /// Average offered rate in bits/second.
+    pub fn offered_bps(&self) -> f64 {
+        if self.sizes.is_empty() || self.fps <= 0.0 {
+            return 0.0;
+        }
+        let mean = self.total_bytes() as f64 / self.sizes.len() as f64;
+        mean * 8.0 * self.fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_matches_fps() {
+        let s = FrameSchedule::constant(1000, 10, 500.0);
+        assert_eq!(s.frame_interval_ns(), 2_000_000); // 2 ms at 500 fps
+        assert_eq!(s.len(), 10);
+        assert_eq!(s.total_bytes(), 10_000);
+    }
+
+    #[test]
+    fn offered_rate() {
+        // 1000 B at 100 fps = 800 kb/s.
+        let s = FrameSchedule::constant(1000, 5, 100.0);
+        assert!((s.offered_bps() - 800_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_fps_is_degenerate_but_safe() {
+        let s = FrameSchedule::constant(1000, 5, 0.0);
+        assert_eq!(s.frame_interval_ns(), 0);
+        assert_eq!(s.offered_bps(), 0.0);
+    }
+
+    #[test]
+    fn from_trace_multiplies() {
+        let t = MembershipTrace { samples: vec![2, 3] };
+        let s = FrameSchedule::from_trace(&t, 2000, 500.0);
+        assert_eq!(s.sizes, vec![4000, 6000]);
+    }
+}

@@ -1,0 +1,334 @@
+//! # iq-workload
+//!
+//! Cross-traffic generators for the IQ-RUDP experiments:
+//!
+//! * [`CbrSource`] — fixed-rate UDP, the stand-in for the paper's
+//!   *iperf* background traffic.
+//! * [`VbrSource`] — variable-bit-rate UDP at a fixed frame rate with
+//!   frame sizes driven by the MBone membership trace (§3.1's changing-
+//!   network workload).
+//! * [`UdpSink`] — counts arrivals and computes received rate.
+
+#![warn(missing_docs)]
+
+use iq_metrics::FlowMetrics;
+use iq_netsim::{payload, time, Addr, Agent, Ctx, FlowId, Packet, TimeDelta};
+
+/// Wire overhead modelled for plain UDP datagrams (IP + UDP).
+pub const UDP_HEADER_BYTES: u32 = 28;
+
+/// Payload marker for plain UDP traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpDatagram {
+    /// Sequence number within the flow.
+    pub seq: u64,
+}
+
+const SEND_TOKEN: u64 = 1;
+
+/// Constant-bit-rate UDP source (iperf-like).
+///
+/// Emits fixed-size datagrams at a fixed rate, forever or until a
+/// configured volume is reached.
+pub struct CbrSource {
+    dst: Addr,
+    flow: FlowId,
+    /// Target rate in bits per second.
+    rate_bps: f64,
+    /// Datagram payload size in bytes.
+    datagram_bytes: u32,
+    /// Stop after this many datagrams (`u64::MAX` = unbounded).
+    limit: u64,
+    sent: u64,
+    /// Start delay before the first datagram.
+    start_after: TimeDelta,
+}
+
+impl CbrSource {
+    /// Creates an unbounded CBR source.
+    pub fn new(dst: Addr, flow: FlowId, rate_bps: f64, datagram_bytes: u32) -> Self {
+        Self {
+            dst,
+            flow,
+            rate_bps,
+            datagram_bytes,
+            limit: u64::MAX,
+            sent: 0,
+            start_after: 0,
+        }
+    }
+
+    /// Delays the first datagram.
+    pub fn with_start_after(mut self, delay: TimeDelta) -> Self {
+        self.start_after = delay;
+        self
+    }
+
+    /// Bounds the total number of datagrams.
+    pub fn with_limit(mut self, datagrams: u64) -> Self {
+        self.limit = datagrams;
+        self
+    }
+
+    /// Interval between datagrams at the configured rate.
+    fn interval(&self) -> TimeDelta {
+        let wire = f64::from(self.datagram_bytes + UDP_HEADER_BYTES) * 8.0;
+        time::secs(wire / self.rate_bps.max(1.0))
+    }
+
+    /// Datagrams sent so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+}
+
+impl Agent for CbrSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(self.start_after, SEND_TOKEN);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent >= self.limit {
+            return;
+        }
+        ctx.send(
+            self.dst,
+            self.datagram_bytes + UDP_HEADER_BYTES,
+            self.flow,
+            payload(UdpDatagram { seq: self.sent }),
+        );
+        self.sent += 1;
+        if self.sent < self.limit {
+            ctx.set_timer(self.interval(), SEND_TOKEN);
+        }
+    }
+}
+
+/// Variable-bit-rate UDP source: a fixed frame rate with per-frame sizes
+/// from a trace. Each frame is burst onto the network as MTU-sized
+/// datagrams, emulating "a content delivery server that uses multiple
+/// unicast streams to multicast" (§3.1).
+pub struct VbrSource {
+    dst: Addr,
+    flow: FlowId,
+    /// Frames per second (paper: 500).
+    fps: f64,
+    /// Per-frame sizes in bytes; the trace loops when exhausted.
+    frame_sizes: Vec<u32>,
+    /// Maximum datagram payload.
+    mtu: u32,
+    next_frame: usize,
+    /// Whether to loop the trace (default) or stop at its end.
+    looping: bool,
+    sent_datagrams: u64,
+    sent_bytes: u64,
+}
+
+impl VbrSource {
+    /// Creates a looping VBR source.
+    pub fn new(dst: Addr, flow: FlowId, fps: f64, frame_sizes: Vec<u32>) -> Self {
+        assert!(!frame_sizes.is_empty(), "VBR source needs a trace");
+        Self {
+            dst,
+            flow,
+            fps,
+            frame_sizes,
+            mtu: 1400,
+            next_frame: 0,
+            looping: true,
+            sent_datagrams: 0,
+            sent_bytes: 0,
+        }
+    }
+
+    /// Stop at the end of the trace instead of looping.
+    pub fn once(mut self) -> Self {
+        self.looping = false;
+        self
+    }
+
+    /// Total payload bytes sent so far.
+    pub fn sent_bytes(&self) -> u64 {
+        self.sent_bytes
+    }
+
+    /// Average offered rate in bits/second.
+    pub fn offered_bps(&self) -> f64 {
+        let mean = self.frame_sizes.iter().map(|&s| f64::from(s)).sum::<f64>()
+            / self.frame_sizes.len() as f64;
+        mean * 8.0 * self.fps
+    }
+}
+
+impl Agent for VbrSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(0, SEND_TOKEN);
+    }
+
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.next_frame >= self.frame_sizes.len() {
+            if !self.looping {
+                return;
+            }
+            self.next_frame = 0;
+        }
+        let size = self.frame_sizes[self.next_frame];
+        self.next_frame += 1;
+        // Burst the frame as MTU datagrams.
+        let mut remaining = size;
+        while remaining > 0 {
+            let len = remaining.min(self.mtu);
+            remaining -= len;
+            ctx.send(
+                self.dst,
+                len + UDP_HEADER_BYTES,
+                self.flow,
+                payload(UdpDatagram {
+                    seq: self.sent_datagrams,
+                }),
+            );
+            self.sent_datagrams += 1;
+            self.sent_bytes += u64::from(len);
+        }
+        ctx.set_timer(time::secs(1.0 / self.fps), SEND_TOKEN);
+    }
+}
+
+/// Counts UDP arrivals.
+#[derive(Default)]
+pub struct UdpSink {
+    /// Arrival metrics (bytes, rates, inter-arrival).
+    pub metrics: FlowMetrics,
+    /// Datagrams received.
+    pub received: u64,
+}
+
+impl UdpSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Agent for UdpSink {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        if pkt.payload_as::<UdpDatagram>().is_some() {
+            self.received += 1;
+            self.metrics.on_message(
+                ctx.now(),
+                pkt.sent_at,
+                u64::from(pkt.size.saturating_sub(UDP_HEADER_BYTES)),
+                false,
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iq_netsim::{LinkSpec, Simulator};
+
+    #[test]
+    fn cbr_hits_configured_rate() {
+        let mut sim = Simulator::new(1);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(20e6, time::millis(5), 100_000));
+        sim.add_agent(
+            a,
+            1,
+            Box::new(CbrSource::new(Addr::new(b, 1), FlowId(9), 8e6, 972)),
+        );
+        let rx = sim.add_agent(b, 1, Box::new(UdpSink::new()));
+        sim.run_until(time::secs(5.0));
+        let sink = sim.agent::<UdpSink>(rx).unwrap();
+        // 8 Mb/s of 1000 B wire datagrams = 1000/s.
+        let expected = 5.0 * 8e6 / 8000.0;
+        let got = sink.received as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.02,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn cbr_respects_limit_and_start_delay() {
+        let mut sim = Simulator::new(2);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(20e6, time::millis(5), 100_000));
+        sim.add_agent(
+            a,
+            1,
+            Box::new(
+                CbrSource::new(Addr::new(b, 1), FlowId(9), 8e6, 972)
+                    .with_limit(10)
+                    .with_start_after(time::secs(1.0)),
+            ),
+        );
+        let rx = sim.add_agent(b, 1, Box::new(UdpSink::new()));
+        sim.run_until(time::millis(900));
+        assert_eq!(sim.agent::<UdpSink>(rx).unwrap().received, 0);
+        sim.run_until(time::secs(5.0));
+        assert_eq!(sim.agent::<UdpSink>(rx).unwrap().received, 10);
+    }
+
+    #[test]
+    fn vbr_bursts_frames_at_frame_rate() {
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(100e6, time::millis(1), 1_000_000));
+        // 100 fps, frames of 4000 B => 3 datagrams per frame.
+        sim.add_agent(
+            a,
+            1,
+            Box::new(VbrSource::new(
+                Addr::new(b, 1),
+                FlowId(9),
+                100.0,
+                vec![4000],
+            )),
+        );
+        let rx = sim.add_agent(b, 1, Box::new(UdpSink::new()));
+        sim.run_until(time::secs(1.0));
+        let sink = sim.agent::<UdpSink>(rx).unwrap();
+        // ~100 frames x 3 datagrams.
+        assert!((295..=303).contains(&sink.received), "{}", sink.received);
+    }
+
+    #[test]
+    fn vbr_once_stops_at_trace_end() {
+        let mut sim = Simulator::new(4);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(100e6, time::millis(1), 1_000_000));
+        sim.add_agent(
+            a,
+            1,
+            Box::new(
+                VbrSource::new(Addr::new(b, 1), FlowId(9), 100.0, vec![1000; 5]).once(),
+            ),
+        );
+        let rx = sim.add_agent(b, 1, Box::new(UdpSink::new()));
+        sim.run_until(time::secs(2.0));
+        assert_eq!(sim.agent::<UdpSink>(rx).unwrap().received, 5);
+    }
+
+    #[test]
+    fn offered_rate_math() {
+        let v = VbrSource::new(
+            Addr::new(iq_netsim::NodeId(0), 1),
+            FlowId(1),
+            500.0,
+            vec![2000, 4000],
+        );
+        // Mean 3000 B at 500 fps = 12 Mb/s.
+        assert!((v.offered_bps() - 12e6).abs() < 1.0);
+    }
+}

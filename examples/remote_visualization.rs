@@ -1,0 +1,125 @@
+//! Remote visualization with selective reliability (§3.3's motivating
+//! scenario).
+//!
+//! ```text
+//! cargo run --release --example remote_visualization
+//! ```
+//!
+//! A scientist steers a remote visualization: control information (every
+//! fifth datagram) must arrive, raw data outside the current focus may
+//! be lost. Under congestion the application *unmarks* raw-data packets
+//! to trade reliability for the timeliness of the tagged control stream.
+//! The example runs the same workload twice — coordinated (IQ-RUDP
+//! discards unmarked datagrams before they enter the network) and
+//! uncoordinated (RUDP keeps sending everything) — and compares the
+//! tagged stream's latency profile.
+
+use iq_core::CoordinationMode;
+use iq_echo::{AdaptiveSourceAgent, EchoSinkAgent, MarkingAdapter, Policy, SourceConfig};
+use iq_netsim::{build_dumbbell, time, Addr, DumbbellSpec, FlowId, Simulator};
+use iq_trace::{MembershipConfig, MembershipTrace};
+use iq_workload::CbrSource;
+
+struct Outcome {
+    duration_s: f64,
+    delivered_pct: f64,
+    tagged_delay_ms: f64,
+    tagged_jitter_ms: f64,
+    discarded: u64,
+}
+
+fn run(mode: CoordinationMode) -> Outcome {
+    let mut sim = Simulator::new(11);
+    let db = build_dumbbell(&mut sim, &DumbbellSpec::paper_default(2));
+
+    // 12 Mb of iperf cross traffic.
+    sim.add_agent(
+        db.left_hosts[1],
+        9,
+        Box::new(CbrSource::new(
+            Addr::new(db.right_hosts[1], 9),
+            FlowId(99),
+            12e6,
+            972,
+        )),
+    );
+    sim.add_agent(db.right_hosts[1], 9, Box::new(iq_workload::UdpSink::new()));
+
+    // Visualization frames follow audience dynamics (Figure 1 trace),
+    // 3000 B per member, 100 frames/s, split into markable datagrams.
+    let trace = MembershipTrace::generate(&MembershipConfig {
+        seed: 5,
+        len: 1500,
+        base: 3.0,
+        burst_scale: 3.0,
+        min: 1,
+        max: 10,
+        ..MembershipConfig::default()
+    });
+    let mut cfg = SourceConfig::new(1, trace.frame_sizes(3000));
+    cfg.mode = mode;
+    cfg.fps = Some(100.0);
+    cfg.datagram_mode = true;
+    cfg.rudp.loss_tolerance = 0.40; // receiver tolerates 40% raw-data loss
+    cfg.rudp.upper_threshold = Some(0.10);
+    cfg.rudp.lower_threshold = Some(0.02);
+    cfg.min_lower_gap = time::secs(1.5);
+    let sink_cfg = cfg.rudp.clone();
+    let source = AdaptiveSourceAgent::new(
+        cfg,
+        Policy::Marking(MarkingAdapter::default()),
+        Addr::new(db.right_hosts[0], 1),
+        FlowId(1),
+    );
+    let tx = sim.add_agent(db.left_hosts[0], 1, Box::new(source));
+    let rx = sim.add_agent(
+        db.right_hosts[0],
+        1,
+        Box::new(EchoSinkAgent::new(1, sink_cfg, FlowId(1))),
+    );
+    sim.run_until(time::secs(180.0));
+
+    let src = sim.agent::<AdaptiveSourceAgent>(tx).expect("source");
+    let sink = sim.agent::<EchoSinkAgent>(rx).expect("sink");
+    Outcome {
+        duration_s: sink.metrics.duration_s(),
+        delivered_pct: sink.metrics.delivered_pct(src.offered_msgs),
+        tagged_delay_ms: sink.metrics.tagged_inter_arrival_s() * 1e3,
+        tagged_jitter_ms: sink.metrics.tagged_jitter_s() * 1e3,
+        discarded: src.conn().stats().msgs_discarded,
+    }
+}
+
+fn main() {
+    println!("Remote visualization: reliability vs timeliness under congestion\n");
+    let iq = run(CoordinationMode::Coordinated);
+    let rudp = run(CoordinationMode::Uncoordinated);
+    println!("{:<26}{:>12}{:>12}", "", "IQ-RUDP", "RUDP");
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "duration (s)", iq.duration_s, rudp.duration_s
+    );
+    println!(
+        "{:<26}{:>12.1}{:>12.1}",
+        "datagrams delivered (%)", iq.delivered_pct, rudp.delivered_pct
+    );
+    println!(
+        "{:<26}{:>12.2}{:>12.2}",
+        "tagged delay (ms)", iq.tagged_delay_ms, rudp.tagged_delay_ms
+    );
+    println!(
+        "{:<26}{:>12.2}{:>12.2}",
+        "tagged jitter (ms)", iq.tagged_jitter_ms, rudp.tagged_jitter_ms
+    );
+    println!(
+        "{:<26}{:>12}{:>12}",
+        "discarded at transport", iq.discarded, rudp.discarded
+    );
+    println!(
+        "\nCoordination let the transport drop {} unmarked datagrams before \
+         they entered the network;\nthe tagged control stream arrives {:.0}% \
+         sooner per message.",
+        iq.discarded,
+        100.0 * (1.0 - iq.tagged_delay_ms / rudp.tagged_delay_ms.max(1e-9)),
+    );
+}

@@ -1,0 +1,113 @@
+//! IQ-FTP: selectively lossy file transfer (the paper's §4 follow-on).
+//!
+//! ```text
+//! cargo run --release --example selective_file_transfer
+//! ```
+//!
+//! A 7 MB "simulation output" file crosses a congested WAN. The user's
+//! criticality function scores blocks by distance from the region of
+//! interest. IQ-FTP streams most-critical-first with an adaptive
+//! priority cutoff: under congestion, low-priority blocks become
+//! droppable and coordination sheds them before they enter the network.
+//! The same transfer fully reliable (tolerance 0, no cutoff) shows what
+//! that selectivity buys.
+
+use iq_core::CoordinationMode;
+use iq_ftp::{completeness_at, FileSpec, FtpConfig, FtpReceiverAgent, FtpSenderAgent};
+use iq_netsim::{build_dumbbell, time, Addr, DumbbellSpec, FlowId, Simulator};
+use iq_workload::CbrSource;
+
+struct Outcome {
+    duration_s: f64,
+    critical_pct: f64,
+    overall_pct: f64,
+    discarded: u64,
+    cutoff_raises: u64,
+}
+
+fn run(selective: bool) -> Outcome {
+    let mut sim = Simulator::new(3);
+    let db = build_dumbbell(&mut sim, &DumbbellSpec::paper_default(2));
+    sim.add_agent(
+        db.left_hosts[1],
+        9,
+        Box::new(CbrSource::new(
+            Addr::new(db.right_hosts[1], 9),
+            FlowId(99),
+            18e6, // heavy iperf background: ~2 Mb/s left for the file
+            972,
+        )),
+    );
+    sim.add_agent(db.right_hosts[1], 9, Box::new(iq_workload::UdpSink::new()));
+
+    let file = FileSpec::with_center_focus(5000, 1400); // 7 MB
+    let mut cfg = FtpConfig::new(1);
+    if !selective {
+        cfg.rudp.loss_tolerance = 0.0;
+        cfg.max_cutoff = 0.0; // cutoff can never rise: everything marked
+        cfg.mode = CoordinationMode::Uncoordinated;
+    }
+    let rudp = cfg.rudp.clone();
+    let tx = sim.add_agent(
+        db.left_hosts[0],
+        1,
+        Box::new(FtpSenderAgent::new(
+            cfg,
+            &file,
+            Addr::new(db.right_hosts[0], 1),
+            FlowId(1),
+        )),
+    );
+    let rx = sim.add_agent(
+        db.right_hosts[0],
+        1,
+        Box::new(FtpReceiverAgent::new(1, rudp, FlowId(1))),
+    );
+    sim.run_until(time::secs(600.0));
+
+    let sender = sim.agent::<FtpSenderAgent>(tx).expect("sender");
+    let receiver = sim.agent::<FtpReceiverAgent>(rx).expect("receiver");
+    let (crit_got, crit_total) = completeness_at(sender, receiver, 0.8);
+    let (all_got, all_total) = completeness_at(sender, receiver, 0.0);
+    let report = sender.report();
+    Outcome {
+        duration_s: receiver.metrics().duration_s(),
+        critical_pct: 100.0 * crit_got as f64 / crit_total as f64,
+        overall_pct: 100.0 * all_got as f64 / all_total as f64,
+        discarded: report.discarded_blocks,
+        cutoff_raises: report.cutoff_raises,
+    }
+}
+
+fn main() {
+    println!("IQ-FTP: selectively lossy file transfer over a congested WAN\n");
+    let selective = run(true);
+    let reliable = run(false);
+    println!("{:<28}{:>14}{:>16}", "", "IQ-FTP", "fully reliable");
+    println!(
+        "{:<28}{:>14.1}{:>16.1}",
+        "transfer time (s)", selective.duration_s, reliable.duration_s
+    );
+    println!(
+        "{:<28}{:>13.1}%{:>15.1}%",
+        "critical blocks delivered", selective.critical_pct, reliable.critical_pct
+    );
+    println!(
+        "{:<28}{:>13.1}%{:>15.1}%",
+        "all blocks delivered", selective.overall_pct, reliable.overall_pct
+    );
+    println!(
+        "{:<28}{:>14}{:>16}",
+        "blocks shed at transport", selective.discarded, reliable.discarded
+    );
+    println!(
+        "{:<28}{:>14}{:>16}",
+        "cutoff adaptations", selective.cutoff_raises, reliable.cutoff_raises
+    );
+    println!(
+        "\nThe selective transfer keeps 100% of the region of interest and \
+         finishes {:.0}% sooner\nby letting the user's criticality function \
+         decide what congestion may drop.",
+        100.0 * (1.0 - selective.duration_s / reliable.duration_s.max(1e-9))
+    );
+}

@@ -1,0 +1,181 @@
+//! `iqrudp` — command-line front end for the IQ-RUDP reproduction.
+//!
+//! ```text
+//! iqrudp tables [SIZE] [t1..t8]     regenerate the paper's tables
+//! iqrudp figures [SIZE]             regenerate the figures (+ SVGs)
+//! iqrudp ablations [SIZE]           run the design-choice ablations
+//! iqrudp trace [FRAMES] [SEED]      dump a membership trace as TSV
+//! iqrudp demo                       one coordinated flow, annotated
+//! ```
+//!
+//! `SIZE` scales the experiment workloads (1.0 = paper scale).
+
+use iq_experiments::ablations::run_all_ablations;
+use iq_experiments::figures::{figure1, figure4_from_rows, figures_2_3, render_figure4};
+use iq_experiments::tables::*;
+use iq_metrics::{line_plot, PlotConfig};
+use iq_trace::{MembershipConfig, MembershipTrace};
+
+fn parse_size(args: &[String], idx: usize) -> Size {
+    Size(args.get(idx).and_then(|s| s.parse().ok()).unwrap_or(1.0))
+}
+
+fn cmd_tables(args: &[String]) {
+    let size = parse_size(args, 0);
+    let only = args.get(1).map(|s| s.as_str());
+    let want = |k: &str| only.is_none() || only == Some(k);
+    if want("t1") {
+        println!("{}", render_table1(&run_table1(size)));
+    }
+    if want("t2") {
+        println!("{}", render_table2(&run_table2(size)));
+    }
+    if want("t3") {
+        println!("{}", render_table3(&run_table3(size)));
+    }
+    if want("t4") {
+        println!("{}", render_table4(&run_table4(size)));
+    }
+    if want("t5") {
+        println!("{}", render_table5(&run_table5(size)));
+    }
+    if want("t6") {
+        println!("{}", render_table6(&run_table6(size)));
+    }
+    if want("t7") {
+        println!("{}", render_table7(&run_table7(size)));
+    }
+    if want("t8") {
+        println!("{}", render_table8(&run_table8(size)));
+    }
+}
+
+fn cmd_figures(args: &[String]) {
+    let size = parse_size(args, 0);
+    let f1 = figure1();
+    println!(
+        "Figure 1: {} frames, group sizes {:.0}..{:.0}",
+        f1.len(),
+        f1.values().fold(f64::INFINITY, f64::min),
+        f1.values().fold(0.0, f64::max)
+    );
+    let (iq, rudp) = figures_2_3(size);
+    println!(
+        "Figures 2/3: IQ-RUDP mean jitter {:.2} ms, RUDP {:.2} ms",
+        iq.mean(),
+        rudp.mean()
+    );
+    let rows = run_table6(size);
+    println!("{}", render_figure4(&figure4_from_rows(&rows)));
+    let _ = std::fs::create_dir_all("figures");
+    let _ = std::fs::write(
+        "figures/figure1_membership_dynamics.svg",
+        line_plot(
+            &PlotConfig::new("Figure 1: Membership dynamics", "frame", "group size"),
+            &[("audience", &f1)],
+        ),
+    );
+    let _ = std::fs::write(
+        "figures/figures_2_3_jitter.svg",
+        line_plot(
+            &PlotConfig::new("Figures 2/3: per-packet delay jitter", "packet", "jitter (ms)"),
+            &[("IQ-RUDP", &iq), ("RUDP", &rudp)],
+        ),
+    );
+    println!("wrote figures/*.svg");
+}
+
+fn cmd_trace(args: &[String]) {
+    let len = args
+        .get(0)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2000usize);
+    let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0x4d42_6f6e);
+    let trace = MembershipTrace::generate(&MembershipConfig {
+        seed,
+        len,
+        ..MembershipConfig::default()
+    });
+    for (i, g) in trace.samples.iter().enumerate() {
+        println!("{i}\t{g}");
+    }
+}
+
+fn cmd_demo() {
+    use iq_echo::{AdaptiveSourceAgent, EchoSinkAgent, Policy, ResolutionAdapter, SourceConfig};
+    use iq_netsim::{build_dumbbell, time, Addr, DumbbellSpec, FlowId, Simulator};
+    use iq_workload::CbrSource;
+
+    let mut sim = Simulator::new(1);
+    let db = build_dumbbell(&mut sim, &DumbbellSpec::paper_default(2));
+    sim.add_agent(
+        db.left_hosts[1],
+        9,
+        Box::new(CbrSource::new(
+            Addr::new(db.right_hosts[1], 9),
+            FlowId(99),
+            18e6,
+            972,
+        )),
+    );
+    sim.add_agent(db.right_hosts[1], 9, Box::new(iq_workload::UdpSink::new()));
+    let mut cfg = SourceConfig::new(1, vec![1400; 600]);
+    cfg.rudp.upper_threshold = Some(0.15);
+    cfg.rudp.lower_threshold = Some(0.01);
+    cfg.datagram_mode = true;
+    let sink_cfg = cfg.rudp.clone();
+    let src = AdaptiveSourceAgent::new(
+        cfg,
+        Policy::Resolution(ResolutionAdapter::default()),
+        Addr::new(db.right_hosts[0], 1),
+        FlowId(1),
+    );
+    let tx = sim.add_agent(db.left_hosts[0], 1, Box::new(src));
+    let rx = sim.add_agent(
+        db.right_hosts[0],
+        1,
+        Box::new(EchoSinkAgent::new(1, sink_cfg, FlowId(1))),
+    );
+    sim.run_until(time::secs(60.0));
+    let src = sim.agent::<AdaptiveSourceAgent>(tx).unwrap();
+    let sink = sim.agent::<EchoSinkAgent>(rx).unwrap();
+    println!(
+        "delivered {}/{} messages in {:.1} s at {:.1} KB/s (jitter {:.2} ms); \
+         {} upper callbacks, {} window re-adjustments",
+        sink.metrics.messages(),
+        src.offered_msgs,
+        sink.metrics.duration_s(),
+        sink.metrics.throughput_kbps(),
+        sink.metrics.jitter_s() * 1e3,
+        src.callbacks.0,
+        src.coordination_log().window_rescales,
+    );
+    // Ground truth from the simulator's per-flow accounting.
+    let fs = sim.flow_stats(FlowId(1));
+    println!(
+        "ground truth: {} packets sent, {:.2}% network loss",
+        fs.sent_packets,
+        100.0 * fs.loss_ratio()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(|s| s.as_str()) {
+        Some("tables") => cmd_tables(&args[1..]),
+        Some("figures") => cmd_figures(&args[1..]),
+        Some("ablations") => {
+            let size = parse_size(&args[1..], 0);
+            println!("{}", run_all_ablations(size));
+        }
+        Some("trace") => cmd_trace(&args[1..]),
+        Some("demo") => cmd_demo(),
+        _ => {
+            eprintln!(
+                "usage: iqrudp <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
+                 trace [FRAMES] [SEED] | demo>"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Integration tests for the coordination schemes themselves: scaled-
+//! down versions of the paper's experiments asserting the *directional*
+//! outcomes that define each scheme.
+
+use iq_experiments::tables::{
+    table3_scenarios, table8_scenarios, Size,
+};
+use iq_experiments::{run_scenario, PolicySpec, Scenario, Scheme};
+
+/// §3.3 conflict: coordinated discard means fewer messages delivered
+/// (within tolerance) but no slower completion than uncoordinated RUDP.
+#[test]
+fn conflict_coordination_trades_messages_for_time() {
+    let scenarios = table3_scenarios(Size::SMOKE);
+    let iq = run_scenario(&scenarios[0]);
+    let rudp = run_scenario(&scenarios[1]);
+    assert!(iq.finished && rudp.finished);
+    // The coordinated run discards unmarked datagrams...
+    assert!(
+        iq.msgs_delivered < rudp.msgs_delivered,
+        "iq {} !< rudp {}",
+        iq.msgs_delivered,
+        rudp.msgs_delivered
+    );
+    // ...but never below the receiver's tolerance floor.
+    assert!(iq.delivered_pct >= 100.0 * (1.0 - 0.40) - 1.0);
+    // And it finishes no later.
+    assert!(iq.duration_s <= rudp.duration_s * 1.05);
+    // Only the coordinated sender discarded at the API.
+    assert!(iq.sender_stats.unwrap().msgs_discarded > 0);
+    assert_eq!(rudp.sender_stats.unwrap().msgs_discarded, 0);
+}
+
+/// §3.4 over-reaction: the coordinated scheme re-inflates the window
+/// after reported downsampling; the uncoordinated one never rescales.
+#[test]
+fn overreaction_coordination_rescales_window() {
+    let mut sc = Scenario::new(
+        Scheme::Coordinated,
+        PolicySpec::Resolution,
+        vec![1400; 400],
+    );
+    sc.datagram_mode = true;
+    sc.thresholds = (Some(0.05), Some(0.005));
+    sc.cross.cbr_bps = Some(18e6);
+    sc.deadline_s = 180.0;
+    let iq = run_scenario(&sc);
+    sc.scheme = Scheme::Uncoordinated;
+    let rudp = run_scenario(&sc);
+
+    assert!(iq.finished && rudp.finished);
+    let iq_log = iq.coordination.unwrap();
+    let rudp_log = rudp.coordination.unwrap();
+    assert!(iq_log.window_rescales > 0, "no coordination happened");
+    assert_eq!(rudp_log.window_rescales, 0);
+    // Adaptation actually engaged in both runs.
+    assert!(iq.callbacks.0 > 0 && rudp.callbacks.0 > 0);
+}
+
+/// §3.5 obsolete information: with ADAPT_COND the transport corrects
+/// deferred adaptations; the ordering of the three schemes holds.
+#[test]
+fn granularity_cond_correction_orders_schemes() {
+    let scenarios = table8_scenarios(Size::SMOKE);
+    let cond = run_scenario(&scenarios[0]);
+    let nocond = run_scenario(&scenarios[1]);
+    let rudp = run_scenario(&scenarios[2]);
+    assert!(cond.finished && nocond.finished && rudp.finished);
+    // Eq. (1) was actually used, and only in the COND scheme.
+    assert!(cond.coordination.unwrap().cond_corrections > 0);
+    assert_eq!(nocond.coordination.unwrap().cond_corrections, 0);
+    assert_eq!(rudp.coordination.unwrap().window_rescales, 0);
+    // The paper's ordering: COND does at least as well as the others.
+    assert!(
+        cond.throughput_kbps >= nocond.throughput_kbps * 0.98,
+        "cond {} < nocond {}",
+        cond.throughput_kbps,
+        nocond.throughput_kbps
+    );
+    assert!(
+        cond.throughput_kbps >= rudp.throughput_kbps * 0.98,
+        "cond {} < rudp {}",
+        cond.throughput_kbps,
+        rudp.throughput_kbps
+    );
+}
+
+/// The cc-disabled scheme ("app adaptation only") really runs with a
+/// pinned window.
+#[test]
+fn app_adaptation_only_disables_congestion_control() {
+    let mut sc = Scenario::new(
+        Scheme::AppAdaptOnly,
+        PolicySpec::Resolution,
+        vec![1400; 150],
+    );
+    sc.datagram_mode = true;
+    sc.thresholds = (Some(0.05), Some(0.005));
+    sc.fixed_cwnd = 24.0;
+    sc.cross.cbr_bps = Some(17e6);
+    sc.deadline_s = 180.0;
+    let r = run_scenario(&sc);
+    assert!(r.finished);
+    // The application adapted (it is the only control loop left).
+    assert!(r.callbacks.0 > 0, "app never adapted");
+}
+
+/// TCP rows run through the same harness and produce sane metrics.
+#[test]
+fn tcp_scheme_flows_through_harness() {
+    let mut sc = Scenario::new(Scheme::Tcp, PolicySpec::None, vec![5000; 100]);
+    sc.cross.cbr_bps = Some(10e6);
+    sc.deadline_s = 120.0;
+    let r = run_scenario(&sc);
+    assert!(r.finished);
+    assert!(r.throughput_kbps > 0.0);
+    assert!(r.msgs_delivered > 0);
+    assert!(r.coordination.is_none());
+}
+
+/// Scheme labels match the paper's row names.
+#[test]
+fn scheme_labels() {
+    assert_eq!(Scheme::Tcp.label(), "TCP");
+    assert_eq!(Scheme::Uncoordinated.label(), "RUDP");
+    assert_eq!(Scheme::Coordinated.label(), "IQ-RUDP");
+    assert_eq!(
+        Scheme::CoordinatedWithCond.label(),
+        "IQ-RUDP w/ ADAPT_COND"
+    );
+}

@@ -1,0 +1,329 @@
+//! Cross-crate integration: full transfers through the simulator with
+//! every layer engaged (netsim, transports, middleware, workloads).
+
+use iq_echo::{AdaptiveSourceAgent, EchoSinkAgent, MarkingAdapter, Policy, SourceConfig};
+use iq_netsim::{build_dumbbell, time, Addr, DumbbellSpec, FlowId, LinkSpec, Simulator};
+use iq_rudp::{BulkSenderAgent, RudpConfig, RudpSinkAgent, SenderConn};
+use iq_tcp::{TcpBulkSenderAgent, TcpConfig, TcpSenderConn, TcpSinkAgent};
+use iq_workload::{CbrSource, UdpSink};
+
+/// RUDP delivers a full transfer across the dumbbell while an iperf-like
+/// flow congests the bottleneck.
+#[test]
+fn rudp_transfer_completes_under_cross_traffic() {
+    let mut sim = Simulator::new(1);
+    let db = build_dumbbell(&mut sim, &DumbbellSpec::paper_default(2));
+    sim.add_agent(
+        db.left_hosts[1],
+        9,
+        Box::new(CbrSource::new(
+            Addr::new(db.right_hosts[1], 9),
+            FlowId(9),
+            17.5e6,
+            972,
+        )),
+    );
+    let cross_rx = sim.add_agent(db.right_hosts[1], 9, Box::new(UdpSink::new()));
+
+    let cfg = RudpConfig::default();
+    sim.add_agent(
+        db.left_hosts[0],
+        1,
+        Box::new(BulkSenderAgent::new(
+            SenderConn::new(1, cfg.clone()),
+            Addr::new(db.right_hosts[0], 1),
+            FlowId(1),
+            500,
+            1400,
+        )),
+    );
+    let rx = sim.add_agent(
+        db.right_hosts[0],
+        1,
+        Box::new(RudpSinkAgent::new(1, cfg, FlowId(1))),
+    );
+    sim.run_until(time::secs(60.0));
+
+    let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+    assert!(sink.is_finished(), "transfer did not complete");
+    assert_eq!(sink.metrics.messages(), 500);
+    // The cross traffic also flowed.
+    assert!(sim.agent::<UdpSink>(cross_rx).unwrap().received > 1000);
+    // The bottleneck actually dropped something (congestion was real).
+    assert!(sim.link_stats(db.bottleneck).dropped_packets > 0);
+}
+
+/// TCP and RUDP complete the same job over the same network; both
+/// deliver everything, reliably, in order.
+#[test]
+fn both_transports_deliver_identical_payloads() {
+    for transport in ["tcp", "rudp"] {
+        let mut sim = Simulator::new(5);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(
+            a,
+            b,
+            LinkSpec::new(10e6, time::millis(10), 64_000).with_random_loss(0.02),
+        );
+        match transport {
+            "tcp" => {
+                let cfg = TcpConfig::default();
+                sim.add_agent(
+                    a,
+                    1,
+                    Box::new(TcpBulkSenderAgent::new(
+                        TcpSenderConn::new(1, cfg.clone()),
+                        Addr::new(b, 1),
+                        FlowId(1),
+                        200,
+                        1000,
+                    )),
+                );
+                let rx = sim.add_agent(
+                    b,
+                    1,
+                    Box::new(TcpSinkAgent::new(1, cfg, FlowId(1)).keep_messages()),
+                );
+                sim.run_until(time::secs(120.0));
+                let sink = sim.agent::<TcpSinkAgent>(rx).unwrap();
+                assert!(sink.is_finished(), "tcp did not finish");
+                assert_eq!(sink.messages.len(), 200);
+                // In-order, no duplicates, no gaps.
+                for (i, m) in sink.messages.iter().enumerate() {
+                    assert_eq!(m.msg_id, i as u64);
+                    assert_eq!(m.size, 1000);
+                }
+            }
+            _ => {
+                let cfg = RudpConfig::default();
+                sim.add_agent(
+                    a,
+                    1,
+                    Box::new(BulkSenderAgent::new(
+                        SenderConn::new(1, cfg.clone()),
+                        Addr::new(b, 1),
+                        FlowId(1),
+                        200,
+                        1000,
+                    )),
+                );
+                let rx = sim.add_agent(
+                    b,
+                    1,
+                    Box::new(RudpSinkAgent::new(1, cfg, FlowId(1)).keep_messages()),
+                );
+                sim.run_until(time::secs(120.0));
+                let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+                assert!(sink.is_finished(), "rudp did not finish");
+                assert_eq!(sink.messages.len(), 200);
+                for (i, m) in sink.messages.iter().enumerate() {
+                    assert_eq!(m.msg_id, i as u64);
+                    assert_eq!(m.size, 1000);
+                    assert!(m.marked);
+                }
+            }
+        }
+    }
+}
+
+/// With marking + receiver tolerance, everything *tagged* arrives even
+/// when raw data is dropped or abandoned; losses stay within tolerance.
+#[test]
+fn tagged_data_survives_reliability_adaptation() {
+    let mut sim = Simulator::new(13);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    // Lossy link to force abandonment decisions.
+    sim.add_duplex_link(
+        a,
+        b,
+        LinkSpec::new(6e6, time::millis(10), 32_000).with_random_loss(0.05),
+    );
+    let mut cfg = SourceConfig::new(3, vec![1400; 600]);
+    cfg.rudp.loss_tolerance = 0.30;
+    cfg.datagram_mode = true;
+    let sink_cfg = cfg.rudp.clone();
+    // Pre-unmarked policy: heavy unmarking from the start.
+    let mut adapter = MarkingAdapter::default();
+    adapter.unmark_prob = 0.6;
+    let src = AdaptiveSourceAgent::new(
+        cfg,
+        Policy::Marking(adapter),
+        Addr::new(b, 1),
+        FlowId(1),
+    );
+    let tx = sim.add_agent(a, 1, Box::new(src));
+    let rx = sim.add_agent(
+        b,
+        1,
+        Box::new(EchoSinkAgent::new(3, sink_cfg, FlowId(1)).keep_messages()),
+    );
+    sim.run_until(time::secs(120.0));
+
+    let src = sim.agent::<AdaptiveSourceAgent>(tx).unwrap();
+    let sink = sim.agent::<EchoSinkAgent>(rx).unwrap();
+    assert!(sink.is_finished(), "did not finish");
+    // Every tagged (control) datagram was delivered: the source tags
+    // every 5th datagram and the tolerance only covers unmarked ones.
+    let tagged_delivered = sink.messages.iter().filter(|m| m.marked).count() as u64;
+    let tagged_offered = src.offered_msgs.div_ceil(5);
+    assert!(
+        tagged_delivered >= tagged_offered,
+        "tagged loss: {tagged_delivered} < {tagged_offered}"
+    );
+    // Undelivered fraction stays within the receiver's tolerance (with
+    // margin for rounding).
+    let undelivered = src.offered_msgs - sink.metrics.messages();
+    assert!(
+        (undelivered as f64) <= 0.30 * src.offered_msgs as f64 + 1.0,
+        "tolerance exceeded: {undelivered} of {}",
+        src.offered_msgs
+    );
+}
+
+/// The whole stack is deterministic: same seed, same world, same run.
+#[test]
+fn full_stack_runs_are_reproducible() {
+    let run = || {
+        let mut sim = Simulator::new(77);
+        let db = build_dumbbell(&mut sim, &DumbbellSpec::paper_default(2));
+        sim.add_agent(
+            db.left_hosts[1],
+            9,
+            Box::new(CbrSource::new(
+                Addr::new(db.right_hosts[1], 9),
+                FlowId(9),
+                15e6,
+                972,
+            )),
+        );
+        sim.add_agent(db.right_hosts[1], 9, Box::new(UdpSink::new()));
+        let mut cfg = SourceConfig::new(1, vec![1400; 300]);
+        cfg.rudp.upper_threshold = Some(0.1);
+        cfg.rudp.lower_threshold = Some(0.01);
+        cfg.datagram_mode = true;
+        let sink_cfg = cfg.rudp.clone();
+        let src = AdaptiveSourceAgent::new(
+            cfg,
+            Policy::Marking(MarkingAdapter::default()),
+            Addr::new(db.right_hosts[0], 1),
+            FlowId(1),
+        );
+        sim.add_agent(db.left_hosts[0], 1, Box::new(src));
+        let rx = sim.add_agent(
+            db.right_hosts[0],
+            1,
+            Box::new(EchoSinkAgent::new(1, sink_cfg, FlowId(1))),
+        );
+        sim.run_until(time::secs(60.0));
+        let sink = sim.agent::<EchoSinkAgent>(rx).unwrap();
+        (
+            sink.metrics.messages(),
+            sink.metrics.bytes(),
+            sink.metrics.duration_s(),
+            sim.counters().events_processed,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+/// Flow control holds: a tiny receive buffer never overflows even with
+/// an aggressive sender.
+#[test]
+fn receiver_window_prevents_buffer_overrun() {
+    let mut sim = Simulator::new(3);
+    let a = sim.add_node();
+    let b = sim.add_node();
+    // Reordering via jitter creates out-of-order arrivals that must be
+    // buffered.
+    sim.add_duplex_link(
+        a,
+        b,
+        LinkSpec::new(20e6, time::millis(5), 256_000).with_jitter(time::millis(4)),
+    );
+    let cfg = RudpConfig {
+        recv_buffer_segments: 16,
+        ..RudpConfig::default()
+    };
+    sim.add_agent(
+        a,
+        1,
+        Box::new(BulkSenderAgent::new(
+            SenderConn::new(1, cfg.clone()),
+            Addr::new(b, 1),
+            FlowId(1),
+            400,
+            1400,
+        )),
+    );
+    let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::new(1, cfg, FlowId(1))));
+    sim.run_until(time::secs(60.0));
+    let sink = sim.agent::<RudpSinkAgent>(rx).unwrap();
+    assert!(sink.is_finished());
+    assert_eq!(sink.metrics.messages(), 400);
+}
+
+/// Channel fan-out + IQ-FTP exercise the full public API surface of the
+/// extension crates in one simulation.
+#[test]
+fn extensions_compose_in_one_simulation() {
+    use iq_echo::{ChannelSourceAgent, Subscription};
+    use iq_ftp::{FileSpec, FtpConfig, FtpReceiverAgent, FtpSenderAgent};
+
+    let mut sim = Simulator::new(41);
+    let hub = sim.add_node();
+    let sub1 = sim.add_node();
+    let sub2 = sim.add_node();
+    let ftp_dst = sim.add_node();
+    for n in [sub1, sub2, ftp_dst] {
+        sim.add_duplex_link(hub, n, LinkSpec::new(10e6, time::millis(5), 64_000));
+    }
+    // An event channel with two subscribers...
+    let subs = vec![
+        Subscription::new(1, Addr::new(sub1, 1), FlowId(1)),
+        Subscription::new(2, Addr::new(sub2, 1), FlowId(2)),
+    ];
+    sim.add_agent(
+        hub,
+        1,
+        Box::new(ChannelSourceAgent::new(vec![1000; 50], 50.0, subs)),
+    );
+    let rx1 = sim.add_agent(
+        sub1,
+        1,
+        Box::new(EchoSinkAgent::new(1, RudpConfig::default(), FlowId(1))),
+    );
+    let rx2 = sim.add_agent(
+        sub2,
+        1,
+        Box::new(EchoSinkAgent::new(2, RudpConfig::default(), FlowId(2))),
+    );
+    // ...and an IQ-FTP transfer sharing the hub.
+    let file = FileSpec::with_center_focus(100, 1400);
+    let cfg = FtpConfig::new(3);
+    let rudp = cfg.rudp.clone();
+    let ftx = sim.add_agent(
+        hub,
+        2,
+        Box::new(FtpSenderAgent::new(
+            cfg,
+            &file,
+            Addr::new(ftp_dst, 1),
+            FlowId(3),
+        )),
+    );
+    let frx = sim.add_agent(ftp_dst, 1, Box::new(FtpReceiverAgent::new(3, rudp, FlowId(3))));
+    sim.run_until(time::secs(60.0));
+
+    assert_eq!(sim.agent::<EchoSinkAgent>(rx1).unwrap().metrics.messages(), 50);
+    assert_eq!(sim.agent::<EchoSinkAgent>(rx2).unwrap().metrics.messages(), 50);
+    let sender = sim.agent::<FtpSenderAgent>(ftx).unwrap();
+    let receiver = sim.agent::<FtpReceiverAgent>(frx).unwrap();
+    let (got, total) = iq_ftp::completeness_at(sender, receiver, 0.0);
+    assert_eq!(got, total);
+    // Per-flow ground truth saw all three flows.
+    for f in [1, 2, 3] {
+        assert!(sim.flow_stats(FlowId(f)).sent_packets > 0, "flow {f} silent");
+    }
+}
