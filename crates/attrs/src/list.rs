@@ -3,7 +3,6 @@
 
 use std::borrow::Cow;
 
-use serde::{Deserialize, Serialize};
 
 use crate::value::AttrValue;
 
@@ -14,7 +13,7 @@ pub type AttrName = Cow<'static, str>;
 ///
 /// Lists are small (a handful of entries), so lookups are linear; the
 /// last write to a name wins.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct AttrList {
     entries: Vec<(AttrName, AttrValue)>,
 }

@@ -4,9 +4,7 @@
 //! registration, update, and query of ECho attributes).
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use parking_lot::RwLock;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::list::AttrName;
 use crate::value::AttrValue;
@@ -47,12 +45,22 @@ impl AttrService {
         Self::default()
     }
 
+    // Lock poisoning only happens if a watcher panicked mid-update; the
+    // registry itself is still consistent, so recover the guard.
+    fn read(&self) -> RwLockReadGuard<'_, Inner> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn write(&self) -> RwLockWriteGuard<'_, Inner> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
     /// Registers or updates `name`, bumping its version and invoking any
     /// watchers registered for it. Returns the new version.
     pub fn update(&self, name: impl Into<AttrName>, value: impl Into<AttrValue>) -> u64 {
         let name = name.into();
         let value = value.into();
-        let mut g = self.inner.write();
+        let mut g = self.write();
         let entry = g
             .entries
             .entry(name.clone())
@@ -80,7 +88,7 @@ impl AttrService {
     /// application registers for call-backs from IQ-RUDP using
     /// attributes").
     pub fn watch(&self, name: impl Into<AttrName>, f: WatchFn) -> WatchId {
-        let mut g = self.inner.write();
+        let mut g = self.write();
         g.next_watch_id += 1;
         let id = WatchId(g.next_watch_id);
         g.watchers.entry(name.into()).or_default().push((id, f));
@@ -89,7 +97,7 @@ impl AttrService {
 
     /// Removes a watcher; returns whether it existed.
     pub fn unwatch(&self, id: WatchId) -> bool {
-        let mut g = self.inner.write();
+        let mut g = self.write();
         for ws in g.watchers.values_mut() {
             if let Some(idx) = ws.iter().position(|(wid, _)| *wid == id) {
                 drop(ws.remove(idx));
@@ -101,12 +109,12 @@ impl AttrService {
 
     /// Queries the current value of `name`.
     pub fn query(&self, name: &str) -> Option<AttrValue> {
-        self.inner.read().entries.get(name).map(|v| v.value.clone())
+        self.read().entries.get(name).map(|v| v.value.clone())
     }
 
     /// Queries value + version together.
     pub fn query_versioned(&self, name: &str) -> Option<Versioned> {
-        self.inner.read().entries.get(name).cloned()
+        self.read().entries.get(name).cloned()
     }
 
     /// Float view of `name`.
@@ -117,8 +125,7 @@ impl AttrService {
     /// Returns the value only if its version is newer than `seen`,
     /// supporting cheap change polling.
     pub fn changed_since(&self, name: &str, seen: u64) -> Option<Versioned> {
-        self.inner
-            .read()
+        self.read()
             .entries
             .get(name)
             .filter(|v| v.version > seen)
@@ -127,12 +134,12 @@ impl AttrService {
 
     /// Removes `name`; returns whether it existed.
     pub fn remove(&self, name: &str) -> bool {
-        self.inner.write().entries.remove(name).is_some()
+        self.write().entries.remove(name).is_some()
     }
 
     /// Number of registered attributes.
     pub fn len(&self) -> usize {
-        self.inner.read().entries.len()
+        self.read().entries.len()
     }
 
     /// Whether the registry is empty.

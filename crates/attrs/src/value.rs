@@ -2,10 +2,9 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
 
 /// The value half of an ECho `<name, value>` quality-attribute tuple.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttrValue {
     /// Signed integer.
     Int(i64),

@@ -1,0 +1,136 @@
+//! Offline stand-in for the subset of the `criterion` API this
+//! workspace's benches use (`Criterion`, `benchmark_group`,
+//! `bench_function`, `sample_size`, `criterion_group!`,
+//! `criterion_main!`).
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors this path crate under the `criterion` package name. It is a
+//! simple wall-clock timer, not a statistical harness: each benchmark
+//! runs a short warm-up, then `sample_size` timed samples, and prints
+//! min/median/mean per iteration. Good enough to compare runs on the
+//! same machine; not a replacement for the real crate's analysis.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness handle, mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            sample_size: 20,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        BenchmarkGroup { sample_size: 20 }.bench_function(name, f);
+        self
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup {
+    sample_size: usize,
+}
+
+impl BenchmarkGroup {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark and prints per-iteration timings.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One untimed warm-up sample, then the timed ones.
+        f(&mut b);
+        b.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut b);
+        }
+        let mut per_iter: Vec<Duration> = b.samples;
+        per_iter.sort();
+        let min = per_iter.first().copied().unwrap_or_default();
+        let median = per_iter.get(per_iter.len() / 2).copied().unwrap_or_default();
+        let mean = per_iter
+            .iter()
+            .sum::<Duration>()
+            .checked_div(per_iter.len() as u32)
+            .unwrap_or_default();
+        println!(
+            "  {name}: min {min:?}  median {median:?}  mean {mean:?}  ({} samples)",
+            per_iter.len()
+        );
+        self
+    }
+
+    /// Ends the group (printing is already done per-benchmark).
+    pub fn finish(self) {}
+}
+
+/// Per-benchmark timing handle passed to the closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times one sample of `f` (the routine under test).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        let out = f();
+        self.samples.push(start.elapsed());
+        std::hint::black_box(out);
+    }
+}
+
+/// Re-export so benches importing `criterion::black_box` keep working.
+pub use std::hint::black_box;
+
+/// Declares a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_bench(c: &mut Criterion) {
+        let mut g = c.benchmark_group("tiny");
+        g.sample_size(3);
+        g.bench_function("sum", |b| b.iter(|| (0..100u64).sum::<u64>()));
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -66,7 +66,7 @@ impl MarkingAdapter {
     /// (every `tag_every`-th) are always tagged; the rest are unmarked
     /// with the current probability.
     pub fn mark(&mut self, idx: u64, rng: &mut SmallRng) -> bool {
-        if idx % self.tag_every == 0 {
+        if idx.is_multiple_of(self.tag_every) {
             return true;
         }
         !(self.unmark_prob > 0.0 && rng.gen::<f64>() < self.unmark_prob)

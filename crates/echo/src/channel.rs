@@ -21,7 +21,7 @@ use crate::source::{Policy, FRAME_TIMER_TOKEN};
 /// An event filter: `true` keeps the event for this subscriber. The
 /// boxed form is ECho's "derived event channel" — a subscriber-supplied
 /// predicate applied at the source.
-pub type EventFilter = Box<dyn Fn(u64, u32) -> bool>;
+pub type EventFilter = Box<dyn Fn(u64, u32) -> bool + Send>;
 
 /// One subscriber of a channel.
 pub struct Subscription {

@@ -3,26 +3,38 @@
 //! rendered tables hide. Usage:
 //!
 //! ```text
-//! diag t5 0.3          # table 5 at 0.3 scale
-//! diag avg7 0.3 8      # table 7 averaged over 8 seeds
+//! diag t5 0.3              # table 5 at 0.3 scale
+//! diag avg7 0.3 8          # table 7 averaged over 8 seeds
+//! diag -j 4 t5 0.3         # same, on 4 worker threads
 //! ```
+//!
+//! `--verify-determinism` re-runs every scenario and aborts on any
+//! bit-level metric difference.
 
 use iq_experiments::runner::run_averaged;
 use iq_experiments::tables::*;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "t5".into());
-    let size = Size(
-        std::env::args()
-            .nth(2)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(0.3),
-    );
+    let mut args = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-j" | "--jobs" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: {a} requires a positive integer argument");
+                    std::process::exit(2);
+                });
+                iq_experiments::set_jobs(n);
+            }
+            "--verify-determinism" => iq_experiments::set_verify_determinism(true),
+            "--timing" => iq_experiments::set_timing_report(true),
+            _ => args.push(a),
+        }
+    }
+    let which = args.first().cloned().unwrap_or_else(|| "t5".into());
+    let size = Size(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0.3));
     let rows = if let Some(n) = which.strip_prefix("avg") {
-        let seeds: u32 = std::env::args()
-            .nth(3)
-            .and_then(|s| s.parse().ok())
-            .unwrap_or(8);
+        let seeds: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(8);
         let scens = match n {
             "5" => table5_scenarios(size),
             "6" => table6_scenarios(size),

@@ -122,6 +122,7 @@ mod tests {
                 coordination: None,
                 callbacks: (0, 0),
                 sender_stats: None,
+                events_processed: 0,
             }
         }
         let rows = vec![

@@ -16,7 +16,10 @@ pub mod runner;
 pub mod scenario;
 pub mod tables;
 
-pub use runner::run_parallel;
+pub use runner::{
+    jobs, run_parallel, run_specs, set_jobs, set_timing_report, set_verify_determinism, Executor,
+    ScenarioReport, ScenarioSpec,
+};
 pub use scenario::{
     app_frame_sizes, run_scenario, CrossTraffic, PolicySpec, RunResult, Scenario, Scheme,
     VbrSpec,

@@ -1,23 +1,232 @@
-//! Parallel scenario execution and shared rendering helpers.
+//! Deterministic parallel scenario execution and shared rendering
+//! helpers.
+//!
+//! Every experiment in this crate is an independent, fully deterministic
+//! simulation, so the sweep is embarrassingly parallel across scenarios
+//! and seeds. [`Executor`] fans [`ScenarioSpec`]s out over a worker
+//! pool, collects results through a channel, and reassembles them in
+//! declaration order — the rendered output is byte-identical to a
+//! serial run regardless of worker count or completion order. Timing
+//! and events/sec go to stderr so stdout (and `results_full.txt`)
+//! never depend on `--jobs`.
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::Instant;
 
 use iq_metrics::{fmt, Table};
 
 use crate::scenario::{run_scenario, RunResult, Scenario};
 
-/// Runs independent scenarios in parallel (one thread each; simulations
-/// are single-threaded and deterministic, so results are order-stable).
-pub fn run_parallel(scenarios: &[Scenario]) -> Vec<RunResult> {
-    crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = scenarios
+/// Requested worker count: 0 means "one per available core".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+/// When set, every scenario runs twice and the runs are diffed.
+static VERIFY_DETERMINISM: AtomicBool = AtomicBool::new(false);
+/// When set, per-scenario wall-clock and events/sec go to stderr.
+static TIMING: AtomicBool = AtomicBool::new(false);
+
+/// Sets the worker count used by [`run_parallel`] (0 = auto: one worker
+/// per available core). Typically wired to a `--jobs N` CLI flag.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n, Ordering::Relaxed);
+}
+
+/// The effective worker count after resolving 0 to the core count.
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
+}
+
+/// Enables `--verify-determinism`: every scenario runs twice with the
+/// same seed and the executor panics if any metric differs bit-for-bit.
+pub fn set_verify_determinism(on: bool) {
+    VERIFY_DETERMINISM.store(on, Ordering::Relaxed);
+}
+
+/// Enables per-scenario wall-clock / events-per-second reporting on
+/// stderr (stdout stays clean so rendered tables are unaffected).
+pub fn set_timing_report(on: bool) {
+    TIMING.store(on, Ordering::Relaxed);
+}
+
+/// A named, self-contained unit of work for the executor: everything a
+/// worker needs (topology, transport config, seed) travels inside the
+/// owned [`Scenario`] value.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Display name used in timing reports and determinism diffs.
+    pub name: String,
+    /// The full scenario description.
+    pub scenario: Scenario,
+}
+
+impl ScenarioSpec {
+    /// Creates a named spec.
+    pub fn new(name: impl Into<String>, scenario: Scenario) -> Self {
+        Self {
+            name: name.into(),
+            scenario,
+        }
+    }
+}
+
+impl From<Scenario> for ScenarioSpec {
+    fn from(scenario: Scenario) -> Self {
+        let name = format!("{}/seed{}", scenario.scheme.label(), scenario.seed);
+        Self { name, scenario }
+    }
+}
+
+/// One executed scenario: its metrics plus executor-side measurements.
+#[derive(Debug, Clone)]
+pub struct ScenarioReport {
+    /// Name copied from the spec.
+    pub name: String,
+    /// The scenario's measured metrics.
+    pub result: RunResult,
+    /// Host wall-clock spent running the simulation, seconds.
+    pub wall_s: f64,
+    /// Simulator event throughput (events processed / wall_s).
+    pub events_per_sec: f64,
+}
+
+/// Bit-exact fingerprint of everything a scenario reports, for the
+/// determinism self-check. Floats are compared via `to_bits` — any
+/// difference, however small, is a determinism bug.
+fn fingerprint(r: &RunResult) -> Vec<u64> {
+    let mut fp = vec![
+        r.duration_s.to_bits(),
+        r.throughput_kbps.to_bits(),
+        r.inter_arrival_s.to_bits(),
+        r.jitter_s.to_bits(),
+        r.tagged_delay_ms.to_bits(),
+        r.tagged_jitter_ms.to_bits(),
+        r.msgs_offered,
+        r.msgs_delivered,
+        r.delivered_pct.to_bits(),
+        u64::from(r.finished),
+        r.callbacks.0,
+        r.callbacks.1,
+        r.events_processed,
+    ];
+    fp.extend(
+        r.jitter_series
+            .points
             .iter()
-            .map(|sc| s.spawn(move |_| run_scenario(sc)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("scenario thread panicked"))
-            .collect()
-    })
-    .expect("scope")
+            .flat_map(|&(t, v)| [t, v.to_bits()]),
+    );
+    fp
+}
+
+/// A fixed-size worker pool executing scenarios in parallel while
+/// preserving declaration order in its output.
+pub struct Executor {
+    workers: usize,
+}
+
+impl Executor {
+    /// Pool with `workers` threads (0 = one per available core).
+    pub fn new(workers: usize) -> Self {
+        let workers = match workers {
+            0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+            n => n,
+        };
+        Self { workers }
+    }
+
+    /// Pool sized by the process-wide [`set_jobs`] setting.
+    pub fn from_global() -> Self {
+        Self::new(jobs())
+    }
+
+    /// Runs every spec and returns reports in declaration order.
+    ///
+    /// Workers claim specs through a shared atomic cursor, so scheduling
+    /// adapts to uneven scenario costs; results return through a channel
+    /// tagged with their index and are reassembled in order, making the
+    /// output independent of worker count and completion order.
+    pub fn run(&self, specs: &[ScenarioSpec]) -> Vec<ScenarioReport> {
+        let verify = VERIFY_DETERMINISM.load(Ordering::Relaxed);
+        let timing = TIMING.load(Ordering::Relaxed);
+        let workers = self.workers.min(specs.len()).max(1);
+        let cursor = AtomicUsize::new(0);
+        let (tx, rx) = mpsc::channel::<(usize, ScenarioReport)>();
+
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move || loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let Some(spec) = specs.get(i) else { break };
+                    let start = Instant::now();
+                    let result = run_scenario(&spec.scenario);
+                    let wall_s = start.elapsed().as_secs_f64();
+                    if verify {
+                        let again = run_scenario(&spec.scenario);
+                        assert!(
+                            fingerprint(&result) == fingerprint(&again),
+                            "determinism violation: scenario `{}` (seed {}) \
+                             produced different metrics on a re-run",
+                            spec.name,
+                            spec.scenario.seed,
+                        );
+                    }
+                    let events_per_sec = if wall_s > 0.0 {
+                        result.events_processed as f64 / wall_s
+                    } else {
+                        0.0
+                    };
+                    let report = ScenarioReport {
+                        name: spec.name.clone(),
+                        result,
+                        wall_s,
+                        events_per_sec,
+                    };
+                    if tx.send((i, report)).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+
+            let mut slots: Vec<Option<ScenarioReport>> = (0..specs.len()).map(|_| None).collect();
+            for (i, report) in rx {
+                if timing {
+                    eprintln!(
+                        "  [{}] {:<44} {:>8.3}s  {:>12.0} events/s",
+                        i, report.name, report.wall_s, report.events_per_sec
+                    );
+                }
+                slots[i] = Some(report);
+            }
+            slots
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| s.unwrap_or_else(|| panic!("scenario {i} worker panicked")))
+                .collect()
+        })
+    }
+}
+
+/// Runs independent scenarios on the global worker pool, returning
+/// results in declaration order (simulations are single-threaded and
+/// deterministic, so output is identical to a serial run).
+pub fn run_parallel(scenarios: &[Scenario]) -> Vec<RunResult> {
+    let specs: Vec<ScenarioSpec> = scenarios.iter().cloned().map(ScenarioSpec::from).collect();
+    Executor::from_global()
+        .run(&specs)
+        .into_iter()
+        .map(|r| r.result)
+        .collect()
+}
+
+/// Runs named specs on the global worker pool, keeping the full
+/// per-scenario reports (wall-clock, events/sec).
+pub fn run_specs(specs: &[ScenarioSpec]) -> Vec<ScenarioReport> {
+    Executor::from_global().run(specs)
 }
 
 /// Runs each scenario `n_seeds` times with distinct seeds and averages
@@ -134,11 +343,17 @@ mod tests {
     use super::*;
     use crate::scenario::{PolicySpec, Scheme};
 
-    #[test]
-    fn parallel_matches_sequential() {
+    fn small_scenario(seed: u64) -> Scenario {
         let mut sc = Scenario::new(Scheme::RudpPlain, PolicySpec::None, vec![1400; 80]);
         sc.cross.cbr_bps = Some(8e6);
         sc.deadline_s = 60.0;
+        sc.seed = seed;
+        sc
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let sc = small_scenario(1);
         let seq = run_scenario(&sc);
         let par = run_parallel(&[sc.clone(), sc.clone()]);
         assert_eq!(par.len(), 2);
@@ -147,13 +362,46 @@ mod tests {
     }
 
     #[test]
+    fn executor_preserves_declaration_order() {
+        let specs: Vec<ScenarioSpec> = (0..6)
+            .map(|i| ScenarioSpec::new(format!("s{i}"), small_scenario(i)))
+            .collect();
+        let serial = Executor::new(1).run(&specs);
+        let parallel = Executor::new(4).run(&specs);
+        assert_eq!(serial.len(), parallel.len());
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(fingerprint(&a.result), fingerprint(&b.result));
+        }
+    }
+
+    #[test]
+    fn reports_carry_wall_clock_and_event_rate() {
+        let specs = [ScenarioSpec::new("one", small_scenario(7))];
+        let reports = Executor::new(2).run(&specs);
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].wall_s > 0.0);
+        assert!(reports[0].result.events_processed > 0);
+        assert!(reports[0].events_per_sec > 0.0);
+    }
+
+    #[test]
+    fn verify_determinism_passes_on_deterministic_scenarios() {
+        set_verify_determinism(true);
+        let specs = [ScenarioSpec::new("det", small_scenario(3))];
+        let reports = Executor::new(2).run(&specs);
+        set_verify_determinism(false);
+        assert_eq!(reports.len(), 1);
+    }
+
+    #[test]
     fn renderers_produce_one_line_per_row() {
         let mut sc = Scenario::new(Scheme::RudpPlain, PolicySpec::None, vec![1400; 30]);
         sc.deadline_s = 30.0;
         let r = run_scenario(&sc);
-        let s = render_time_tp_ia_jitter("T", &[r.clone()]);
+        let s = render_time_tp_ia_jitter("T", std::slice::from_ref(&r));
         assert_eq!(s.lines().count(), 4);
-        let s = render_conflict("T", &[r.clone()]);
+        let s = render_conflict("T", std::slice::from_ref(&r));
         assert!(s.contains("Mesgs Recvd"));
         let s = render_overreaction("T", &["X".into()], &[r]);
         assert!(s.contains("Throughput"));

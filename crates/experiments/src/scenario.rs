@@ -234,6 +234,9 @@ pub struct RunResult {
     pub callbacks: (u64, u64),
     /// Sender-side transport counters (RUDP schemes).
     pub sender_stats: Option<iq_rudp::SenderStats>,
+    /// Simulator events processed during the run (for events/sec
+    /// throughput reporting; not a paper metric).
+    pub events_processed: u64,
 }
 
 /// Attaches the configured cross traffic to a dumbbell. Pair 1 carries
@@ -297,10 +300,12 @@ pub fn run_scenario(sc: &Scenario) -> RunResult {
 }
 
 fn rudp_config(sc: &Scenario) -> RudpConfig {
-    let mut cfg = RudpConfig::default();
-    cfg.loss_tolerance = sc.loss_tolerance;
-    cfg.upper_threshold = sc.thresholds.0;
-    cfg.lower_threshold = sc.thresholds.1;
+    let mut cfg = RudpConfig {
+        loss_tolerance: sc.loss_tolerance,
+        upper_threshold: sc.thresholds.0,
+        lower_threshold: sc.thresholds.1,
+        ..RudpConfig::default()
+    };
     if let Some(p) = sc.measure_period {
         cfg.measure_period = p;
     }
@@ -337,6 +342,7 @@ fn run_rudp(sc: &Scenario) -> RunResult {
     );
     run_until_quiet(&mut sim, sc.deadline_s, rx);
 
+    let events_processed = sim.counters().events_processed;
     let src = sim.agent::<AdaptiveSourceAgent>(tx).expect("source");
     let sink = sim.agent::<EchoSinkAgent>(rx).expect("sink");
     let m = &sink.metrics;
@@ -356,6 +362,7 @@ fn run_rudp(sc: &Scenario) -> RunResult {
         coordination: Some(src.coordination_log()),
         callbacks: src.callbacks,
         sender_stats: Some(src.conn().stats()),
+        events_processed,
     }
 }
 
@@ -391,6 +398,7 @@ fn run_tcp(sc: &Scenario) -> RunResult {
     );
     run_until_quiet_tcp(&mut sim, sc.deadline_s, rx);
 
+    let events_processed = sim.counters().events_processed;
     let sink = sim.agent::<TcpSinkAgent>(rx).expect("sink");
     let m = &sink.metrics;
     RunResult {
@@ -409,6 +417,7 @@ fn run_tcp(sc: &Scenario) -> RunResult {
         coordination: None,
         callbacks: (0, 0),
         sender_stats: None,
+        events_processed,
     }
 }
 

@@ -21,7 +21,15 @@ impl Size {
     /// Paper-scale runs (the default for benches and the harness).
     pub const FULL: Size = Size(1.0);
     /// Quick runs for unit tests.
-    pub const SMOKE: Size = Size(0.15);
+    ///
+    /// The smoke schedules must still outlast the transport's congestion
+    /// ramp: the LDA window grows additively (+1 segment per 100 ms
+    /// period) from 2 segments, so it takes ~5 s of simulated time to
+    /// overshoot the ~26-segment bottleneck share and produce the first
+    /// loss period. Below 0.25 the rate-based table-3 schedule (3000
+    /// frames at 100 fps, scaled) ends before congestion onset and the
+    /// conflict scenarios degenerate into loss-free runs.
+    pub const SMOKE: Size = Size(0.25);
 
     fn frames(&self, full: usize) -> usize {
         ((full as f64 * self.0) as usize).max(40)

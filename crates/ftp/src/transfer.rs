@@ -43,10 +43,12 @@ impl FtpConfig {
     /// Defaults: 10 %/2 % thresholds, tolerance 0.5, cutoff starting at
     /// 0 and stepping by 0.2 up to 0.8.
     pub fn new(conn_id: u32) -> Self {
-        let mut rudp = RudpConfig::default();
-        rudp.loss_tolerance = 0.5;
-        rudp.upper_threshold = Some(0.10);
-        rudp.lower_threshold = Some(0.02);
+        let rudp = RudpConfig {
+            loss_tolerance: 0.5,
+            upper_threshold: Some(0.10),
+            lower_threshold: Some(0.02),
+            ..RudpConfig::default()
+        };
         Self {
             conn_id,
             rudp,
@@ -169,16 +171,14 @@ impl FtpSenderAgent {
                     self.coordinator
                         .report_adaptation(&mut self.driver.conn, &attrs);
                 }
-                ConnEvent::LowerThreshold(_) => {
-                    if self.cutoff > 0.0 {
-                        self.cutoff = (self.cutoff - self.cutoff_step).max(0.0);
-                        let attrs = AttrList::new().with(
-                            names::ADAPT_MARK,
-                            if self.cutoff > 0.0 { 0.1 } else { 0.0 },
-                        );
-                        self.coordinator
-                            .report_adaptation(&mut self.driver.conn, &attrs);
-                    }
+                ConnEvent::LowerThreshold(_) if self.cutoff > 0.0 => {
+                    self.cutoff = (self.cutoff - self.cutoff_step).max(0.0);
+                    let attrs = AttrList::new().with(
+                        names::ADAPT_MARK,
+                        if self.cutoff > 0.0 { 0.1 } else { 0.0 },
+                    );
+                    self.coordinator
+                        .report_adaptation(&mut self.driver.conn, &attrs);
                 }
                 _ => {}
             }

@@ -3,13 +3,12 @@
 //! deviation of inter-arrival ("jitter") — overall and for tagged
 //! (must-deliver) messages only.
 
-use serde::{Deserialize, Serialize};
 
 use crate::series::TimeSeries;
 use crate::stats::Welford;
 
 /// Accumulates arrivals at a receiving application.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct FlowMetrics {
     first_arrival_ns: Option<u64>,
     last_arrival_ns: u64,

@@ -44,7 +44,8 @@ const MARGIN_B: f64 = 48.0;
 const SERIES_COLORS: [&str; 4] = ["#1f6fb2", "#c44f4f", "#3a9a5c", "#8a62b8"];
 
 fn nice_ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
-    if !(hi > lo) || n == 0 {
+    // NaN bounds must also land here, hence partial_cmp over `<=`.
+    if lo.partial_cmp(&hi) != Some(std::cmp::Ordering::Less) || n == 0 {
         return vec![lo];
     }
     let span = hi - lo;
@@ -108,10 +109,9 @@ fn svg_axes(
         )
     };
     // Frame.
-    let _ = write!(
+    let _ = writeln!(
         out,
-        r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="none" stroke="#444"/>
-"##,
+        r##"<rect x="{x}" y="{y}" width="{w}" height="{h}" fill="none" stroke="#444"/>"##,
         x = MARGIN_L,
         y = MARGIN_T,
         w = pw,
@@ -120,10 +120,9 @@ fn svg_axes(
     // Ticks and grid.
     for t in nice_ticks(x_lo, x_hi, 6) {
         let (px, _) = project(t, y_lo);
-        let _ = write!(
+        let _ = writeln!(
             out,
-            r##"<line x1="{px}" y1="{y0}" x2="{px}" y2="{y1}" stroke="#ddd"/><text x="{px}" y="{ty}" text-anchor="middle" font-size="11">{label}</text>
-"##,
+            r##"<line x1="{px}" y1="{y0}" x2="{px}" y2="{y1}" stroke="#ddd"/><text x="{px}" y="{ty}" text-anchor="middle" font-size="11">{label}</text>"##,
             y0 = MARGIN_T,
             y1 = MARGIN_T + ph,
             ty = MARGIN_T + ph + 16.0,
@@ -132,10 +131,9 @@ fn svg_axes(
     }
     for t in nice_ticks(y_lo, y_hi, 5) {
         let (_, py) = project(x_lo, t);
-        let _ = write!(
+        let _ = writeln!(
             out,
-            r##"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="#ddd"/><text x="{tx}" y="{typ}" text-anchor="end" font-size="11">{label}</text>
-"##,
+            r##"<line x1="{x0}" y1="{py}" x2="{x1}" y2="{py}" stroke="#ddd"/><text x="{tx}" y="{typ}" text-anchor="end" font-size="11">{label}</text>"##,
             x0 = MARGIN_L,
             x1 = MARGIN_L + pw,
             tx = MARGIN_L - 6.0,
@@ -227,28 +225,25 @@ pub fn bar_chart(cfg: &PlotConfig, labels: &[String], series: &[(&str, Vec<f64>)
             let (px0, py_v) = project(x, v.max(0.0));
             let (px1, py_0) = project(x + bar_w, v.min(0.0));
             let color = SERIES_COLORS[si % SERIES_COLORS.len()];
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                r#"<rect x="{px0:.1}" y="{py_v:.1}" width="{w:.1}" height="{h:.1}" fill="{color}"/>
-"#,
+                r#"<rect x="{px0:.1}" y="{py_v:.1}" width="{w:.1}" height="{h:.1}" fill="{color}"/>"#,
                 w = px1 - px0,
                 h = (py_0 - py_v).abs().max(0.5),
             );
         }
         let (cx, _) = project(gi as f64 + 0.5, 0.0);
-        let _ = write!(
+        let _ = writeln!(
             out,
-            r#"<text x="{cx:.1}" y="{ty}" text-anchor="middle" font-size="11">{label}</text>
-"#,
+            r#"<text x="{cx:.1}" y="{ty}" text-anchor="middle" font-size="11">{label}</text>"#,
             ty = f64::from(cfg.height) - MARGIN_B + 30.0,
         );
     }
     for (si, (name, _)) in series.iter().enumerate() {
         let color = SERIES_COLORS[si % SERIES_COLORS.len()];
-        let _ = write!(
+        let _ = writeln!(
             out,
-            r#"<text x="{lx}" y="{ly}" font-size="12" fill="{color}">{name}</text>
-"#,
+            r#"<text x="{lx}" y="{ly}" font-size="12" fill="{color}">{name}</text>"#,
             lx = MARGIN_L + 10.0,
             ly = MARGIN_T + 16.0 + 16.0 * si as f64,
         );

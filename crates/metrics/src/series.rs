@@ -1,9 +1,8 @@
 //! Time-series recording, used to regenerate the paper's figures.
 
-use serde::{Deserialize, Serialize};
 
 /// A `(time_ns, value)` series with summary helpers.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TimeSeries {
     /// Samples in recording order.
     pub points: Vec<(u64, f64)>,

@@ -1,9 +1,8 @@
 //! Online scalar statistics (Welford's algorithm).
 
-use serde::{Deserialize, Serialize};
 
 /// Numerically stable online mean/variance accumulator.
-#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct Welford {
     count: u64,
     mean: f64,
@@ -102,7 +101,7 @@ impl Welford {
 }
 
 /// Exponentially weighted moving average, as used by RTT estimators.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct Ewma {
     alpha: f64,
     value: Option<f64>,

@@ -20,7 +20,9 @@ pub struct TimerId(pub(crate) u64);
 ///
 /// The `Any` supertrait lets callers recover concrete agent types after a
 /// run (e.g. to read collected metrics) via [`crate::Simulator::agent`].
-pub trait Agent: Any {
+/// The `Send` supertrait lets whole simulations move across threads, so
+/// independent scenarios can run on a worker pool.
+pub trait Agent: Any + Send {
     /// Called once when the simulation starts (or when the agent is added
     /// to an already-running simulation).
     fn on_start(&mut self, _ctx: &mut Ctx<'_>) {}

@@ -19,10 +19,23 @@ pub struct RoutingTable {
 
 impl RoutingTable {
     /// Computes shortest-hop routes given each link's `(from, to)`.
+    ///
+    /// # Panics
+    /// Panics (naming the link and node) if a link endpoint lies outside
+    /// `0..num_nodes`; such a topology cannot have been built through
+    /// `Simulator::add_node`/`add_link` and routing over it would index
+    /// out of bounds deep inside the search.
     pub fn compute(num_nodes: usize, links: &[(NodeId, NodeId)]) -> Self {
         // Adjacency: per node, outgoing (link, neighbour).
         let mut adj: Vec<Vec<(LinkId, NodeId)>> = vec![Vec::new(); num_nodes];
         for (i, &(from, to)) in links.iter().enumerate() {
+            for end in [from, to] {
+                assert!(
+                    (end.0 as usize) < num_nodes,
+                    "link L{i} references unknown node {end} \
+                     (topology has {num_nodes} nodes)"
+                );
+            }
             adj[from.0 as usize].push((LinkId(i as u32), to));
         }
 
@@ -99,6 +112,15 @@ mod tests {
         let t = RoutingTable::compute(3, &[(NodeId(0), NodeId(1))]);
         assert_eq!(t.next_hop(NodeId(1), NodeId(0)), None);
         assert_eq!(t.next_hop(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "link L1 references unknown node n5")]
+    fn out_of_range_endpoint_names_the_link_and_node() {
+        RoutingTable::compute(
+            2,
+            &[(NodeId(0), NodeId(1)), (NodeId(1), NodeId(5))],
+        );
     }
 
     #[test]

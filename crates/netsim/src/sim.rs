@@ -60,10 +60,9 @@ impl SimCore {
     pub(crate) fn set_timer(&mut self, addr: Addr, delay: TimeDelta, token: u64) -> TimerId {
         let timer_id = self.next_timer_id;
         self.next_timer_id += 1;
-        let agent = *self
-            .port_map
-            .get(&addr)
-            .expect("timer set by unregistered agent");
+        let agent = *self.port_map.get(&addr).unwrap_or_else(|| {
+            panic!("timer set from address {addr}, but no agent is registered there")
+        });
         self.schedule(
             self.now.saturating_add(delay),
             EventKind::Timer {
@@ -229,8 +228,22 @@ impl Simulator {
     }
 
     /// Adds a unidirectional link.
+    ///
+    /// # Panics
+    /// Panics if either endpoint was not created with [`Self::add_node`];
+    /// a dangling endpoint would otherwise surface later as an opaque
+    /// index error inside route computation.
     pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
         let id = LinkId(self.core.links.len() as u32);
+        for end in [from, to] {
+            assert!(
+                end.0 < self.core.num_nodes,
+                "link L{} references unknown node {end} (only {} nodes exist; \
+                 create nodes with add_node first)",
+                id.0,
+                self.core.num_nodes
+            );
+        }
         self.core.links.push(LinkState::new(spec, from, to));
         self.core.routes_dirty = true;
         id
@@ -246,9 +259,15 @@ impl Simulator {
     /// Registers an agent at `(node, port)` and schedules its start.
     ///
     /// # Panics
-    /// Panics if the address is already taken.
+    /// Panics if `node` does not exist or the address is already taken.
     pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> AgentId {
         let addr = Addr::new(node, port);
+        assert!(
+            node.0 < self.core.num_nodes,
+            "agent registered at {addr}, but node {node} does not exist \
+             (only {} nodes; create it with add_node first)",
+            self.core.num_nodes
+        );
         let id = AgentId(self.agents.len() as u32);
         let prev = self.core.port_map.insert(addr, id);
         assert!(prev.is_none(), "address {addr} already has an agent");
@@ -269,8 +288,22 @@ impl Simulator {
     }
 
     /// Stats for one link.
+    ///
+    /// # Panics
+    /// Panics (naming the link) if `id` was not returned by
+    /// [`Self::add_link`] on this simulator.
     pub fn link_stats(&self, id: LinkId) -> LinkStats {
-        self.core.links[id.0 as usize].stats
+        self.core
+            .links
+            .get(id.0 as usize)
+            .unwrap_or_else(|| {
+                panic!(
+                    "no such link L{} (only {} links exist)",
+                    id.0,
+                    self.core.links.len()
+                )
+            })
+            .stats
     }
 
     /// Ground-truth counters for one flow.
@@ -289,14 +322,31 @@ impl Simulator {
     }
 
     /// Immutable access to a concrete agent type (post-run inspection).
+    ///
+    /// Returns `None` when the agent is not of type `T`. Panics (naming
+    /// the id) when `id` was never returned by [`Self::add_agent`], which
+    /// indicates a handle from a different simulator instance.
     pub fn agent<T: Agent>(&self, id: AgentId) -> Option<&T> {
-        let boxed = self.agents[id.0 as usize].as_ref()?;
+        let slot = self.agents.get(id.0 as usize).unwrap_or_else(|| {
+            panic!(
+                "no such agent A{} (only {} agents registered)",
+                id.0,
+                self.agents.len()
+            )
+        });
+        let boxed = slot.as_ref()?;
         (boxed.as_ref() as &dyn std::any::Any).downcast_ref::<T>()
     }
 
     /// Mutable access to a concrete agent type.
+    ///
+    /// Same lookup contract as [`Self::agent`].
     pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> Option<&mut T> {
-        let boxed = self.agents[id.0 as usize].as_mut()?;
+        let len = self.agents.len();
+        let slot = self.agents.get_mut(id.0 as usize).unwrap_or_else(|| {
+            panic!("no such agent A{} (only {len} agents registered)", id.0)
+        });
+        let boxed = slot.as_mut()?;
         (boxed.as_mut() as &mut dyn std::any::Any).downcast_mut::<T>()
     }
 
@@ -697,5 +747,40 @@ mod tests {
         sim.add_agent(n, 1, Box::new(SendToNowhere));
         sim.run_until(millis(1));
         assert_eq!(sim.counters().packets_unroutable, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "link L0 references unknown node n7")]
+    fn link_to_unknown_node_names_the_offender() {
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        sim.add_link(a, crate::packet::NodeId(7), LinkSpec::new(1e6, 0, 1000));
+    }
+
+    #[test]
+    #[should_panic(expected = "node n3 does not exist")]
+    fn agent_on_unknown_node_names_the_offender() {
+        let mut sim = Simulator::new(0);
+        sim.add_node();
+        sim.add_agent(crate::packet::NodeId(3), 1, Box::new(SinkOnly));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such link L9")]
+    fn link_stats_for_unknown_link_names_the_offender() {
+        let sim = Simulator::new(0);
+        sim.link_stats(LinkId(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "no such agent A5")]
+    fn agent_lookup_with_foreign_handle_names_the_offender() {
+        let sim = Simulator::new(0);
+        sim.agent::<Recorder>(crate::packet::AgentId(5));
+    }
+
+    struct SinkOnly;
+    impl Agent for SinkOnly {
+        fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
     }
 }

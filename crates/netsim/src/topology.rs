@@ -74,7 +74,22 @@ impl DumbbellSpec {
 }
 
 /// Builds the dumbbell into `sim` and returns the handles.
+///
+/// # Panics
+/// Panics on a degenerate spec: zero host pairs (the returned host lists
+/// would be empty and every caller indexes them) or a non-positive /
+/// non-finite bottleneck rate (the bottleneck would silently become
+/// infinitely fast, which is never what an experiment means).
 pub fn build_dumbbell(sim: &mut Simulator, spec: &DumbbellSpec) -> Dumbbell {
+    assert!(
+        spec.pairs > 0,
+        "dumbbell spec has 0 host pairs; at least one sender/receiver pair is required"
+    );
+    assert!(
+        spec.bottleneck_bps.is_finite() && spec.bottleneck_bps > 0.0,
+        "dumbbell bottleneck rate must be a positive finite bit rate, got {} b/s",
+        spec.bottleneck_bps
+    );
     let left_router = sim.add_node();
     let right_router = sim.add_node();
 
@@ -186,5 +201,21 @@ mod tests {
     fn long_rtt_variant_has_125ms_one_way() {
         let spec = DumbbellSpec::long_rtt(1);
         assert_eq!(spec.one_way_delay, millis(125));
+    }
+
+    #[test]
+    #[should_panic(expected = "0 host pairs")]
+    fn zero_pair_dumbbell_is_rejected() {
+        let mut sim = Simulator::new(0);
+        build_dumbbell(&mut sim, &DumbbellSpec::paper_default(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite bit rate")]
+    fn non_finite_bottleneck_rate_is_rejected() {
+        let mut sim = Simulator::new(0);
+        let mut spec = DumbbellSpec::paper_default(1);
+        spec.bottleneck_bps = f64::NAN;
+        build_dumbbell(&mut sim, &spec);
     }
 }

@@ -73,9 +73,13 @@ impl LdaWindow {
         self.cwnd
     }
 
-    /// Window rounded down to whole segments, at least one.
+    /// Window rounded to the nearest whole segment, at least one.
+    ///
+    /// Truncation would make a window of 1.999 behave as 1 segment,
+    /// stalling recovery near the floor: each additive increase has to
+    /// accumulate a full segment before any of it takes effect.
     pub fn cwnd_segments(&self) -> u32 {
-        (self.cwnd.floor() as u32).max(1)
+        (self.cwnd.round() as u32).max(1)
     }
 
     /// Whether adaptive control is active.
@@ -190,6 +194,19 @@ mod tests {
         // Coordination scaling still applies even with cc disabled.
         w.scale(0.5);
         assert_eq!(w.cwnd(), 20.0);
+    }
+
+    #[test]
+    fn cwnd_segments_rounds_to_nearest() {
+        let mut w = win();
+        w.scale(1.999 / w.cwnd());
+        assert!((w.cwnd() - 1.999).abs() < 1e-12);
+        // 1.999 must behave as 2 segments, not truncate to 1.
+        assert_eq!(w.cwnd_segments(), 2);
+        w.scale(1.4 / w.cwnd());
+        assert_eq!(w.cwnd_segments(), 1);
+        w.scale(2.5 / w.cwnd());
+        assert_eq!(w.cwnd_segments(), 3); // round half away from zero
     }
 
     #[test]

@@ -45,9 +45,15 @@ impl RttEstimator {
     }
 
     /// Records a sample from transmission/arrival timestamps.
+    ///
+    /// Zero-delay echoes are legal (sub-nanosecond links in tests round
+    /// to the same tick); they must still seed the estimator or the RTO
+    /// stays pinned at its initial value. Only a clock running backwards
+    /// is discarded. The sample is floored at 1 µs so `rttvar` cannot
+    /// collapse to exactly zero.
     pub fn sample_times(&mut self, tx_at: Time, now: Time) {
-        if now > tx_at {
-            self.sample((now - tx_at) as f64 / 1e9);
+        if now >= tx_at {
+            self.sample(((now - tx_at) as f64 / 1e9).max(1e-6));
         }
     }
 
@@ -142,5 +148,15 @@ mod tests {
         assert_eq!(e.srtt_ms(), 0.0);
         e.sample_times(0, 30_000_000);
         assert!((e.srtt_ms() - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delay_sample_seeds_the_estimator() {
+        let mut e = est();
+        e.sample_times(1_000, 1_000); // same tick: must not be discarded
+        assert!(e.srtt_ms() > 0.0, "estimator still unseeded");
+        // Seeded with the 1 µs floor, so the RTO leaves its 1 s initial
+        // value and clamps to the configured minimum.
+        assert_eq!(e.rto(), millis(100));
     }
 }

@@ -285,20 +285,16 @@ impl SenderConn {
             Segment::SynAck {
                 loss_tolerance,
                 recv_window,
-            } => {
-                if self.state == SenderState::SynSent || self.state == SenderState::Idle {
-                    self.state = SenderState::Established;
-                    self.peer_tolerance = *loss_tolerance;
-                    self.peer_window = (*recv_window).max(1);
-                    self.events.push(ConnEvent::Connected);
-                }
+            } if self.state == SenderState::SynSent || self.state == SenderState::Idle => {
+                self.state = SenderState::Established;
+                self.peer_tolerance = *loss_tolerance;
+                self.peer_window = (*recv_window).max(1);
+                self.events.push(ConnEvent::Connected);
             }
             Segment::Ack(ack) => self.on_ack(now, ack),
-            Segment::FinAck => {
-                if self.state == SenderState::FinSent {
-                    self.state = SenderState::Closed;
-                    self.events.push(ConnEvent::Finished);
-                }
+            Segment::FinAck if self.state == SenderState::FinSent => {
+                self.state = SenderState::Closed;
+                self.events.push(ConnEvent::Finished);
             }
             // Data/Syn/Fwd/Fin are receiver-bound; ignore.
             _ => {}
@@ -365,11 +361,9 @@ impl SenderConn {
     /// measuring-period rollover.
     pub fn on_tick(&mut self, now: Time) {
         match self.state {
-            SenderState::SynSent | SenderState::FinSent => {
-                if now >= self.handshake_deadline {
-                    self.handshake_dirty = true;
-                    self.rtt.on_timeout();
-                }
+            SenderState::SynSent | SenderState::FinSent if now >= self.handshake_deadline => {
+                self.handshake_dirty = true;
+                self.rtt.on_timeout();
             }
             SenderState::Established => {
                 // RTO on the earliest outstanding segment.

@@ -216,19 +216,17 @@ impl TcpSenderConn {
     /// Processes an incoming segment.
     pub fn on_segment(&mut self, now: Time, seg: &TcpSegment) {
         match seg {
-            TcpSegment::SynAck { recv_window } => {
-                if matches!(self.state, State::SynSent | State::Idle) {
-                    self.state = State::Established;
-                    self.peer_window = (*recv_window).max(1);
-                    self.events.push(TcpEvent::Connected);
-                }
+            TcpSegment::SynAck { recv_window }
+                if matches!(self.state, State::SynSent | State::Idle) =>
+            {
+                self.state = State::Established;
+                self.peer_window = (*recv_window).max(1);
+                self.events.push(TcpEvent::Connected);
             }
             TcpSegment::Ack(ack) => self.on_ack(now, ack),
-            TcpSegment::FinAck => {
-                if self.state == State::FinSent {
-                    self.state = State::Closed;
-                    self.events.push(TcpEvent::Finished);
-                }
+            TcpSegment::FinAck if self.state == State::FinSent => {
+                self.state = State::Closed;
+                self.events.push(TcpEvent::Finished);
             }
             _ => {}
         }
@@ -302,11 +300,9 @@ impl TcpSenderConn {
     /// Clock tick: RTO and handshake retry handling.
     pub fn on_tick(&mut self, now: Time) {
         match self.state {
-            State::SynSent | State::FinSent => {
-                if now >= self.handshake_deadline {
-                    self.handshake_dirty = true;
-                    self.rtt.on_timeout();
-                }
+            State::SynSent | State::FinSent if now >= self.handshake_deadline => {
+                self.handshake_dirty = true;
+                self.rtt.on_timeout();
             }
             State::Established => {
                 if let Some((&seq, entry)) = self.inflight.iter().next() {

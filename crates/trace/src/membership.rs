@@ -10,10 +10,9 @@
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 /// Tunables for [`MembershipTrace::generate`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct MembershipConfig {
     /// RNG seed; equal seeds give identical traces.
     pub seed: u64,
@@ -52,7 +51,7 @@ impl Default for MembershipConfig {
 }
 
 /// A multicast group-size series, one sample per frame.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MembershipTrace {
     /// Group size per frame index.
     pub samples: Vec<u32>,

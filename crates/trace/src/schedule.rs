@@ -2,12 +2,11 @@
 //! is. Produced from a membership trace plus a frame rate, consumed by the
 //! application sources in `iq-echo` and `iq-workload`.
 
-use serde::{Deserialize, Serialize};
 
 use crate::membership::MembershipTrace;
 
 /// A fixed-rate schedule of frames.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct FrameSchedule {
     /// Frames per second at which the source emits.
     pub fps: f64,

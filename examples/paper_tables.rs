@@ -19,7 +19,27 @@ use iq_experiments::tables::{
 };
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    // Runner flags (`-j N`/`--jobs N`, `--verify-determinism`,
+    // `--timing`) are stripped before positional parsing, so
+    // `paper_tables -- -j 4 1.0 t3` works. Output on stdout is
+    // byte-identical for any worker count.
+    let mut args: Vec<String> = Vec::new();
+    let mut it = std::env::args().collect::<Vec<_>>().into_iter();
+    args.push(it.next().unwrap_or_default()); // argv[0]
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-j" | "--jobs" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: {a} requires a positive integer argument");
+                    std::process::exit(2);
+                });
+                iq_experiments::set_jobs(n);
+            }
+            "--verify-determinism" => iq_experiments::set_verify_determinism(true),
+            "--timing" => iq_experiments::set_timing_report(true),
+            _ => args.push(a),
+        }
+    }
     let size = Size(args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1.0));
     let only: Option<&str> = args.get(2).map(|s| s.as_str());
     let want = |k: &str| only.is_none() || only == Some(k);

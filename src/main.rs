@@ -1,14 +1,21 @@
 //! `iqrudp` — command-line front end for the IQ-RUDP reproduction.
 //!
 //! ```text
-//! iqrudp tables [SIZE] [t1..t8]     regenerate the paper's tables
-//! iqrudp figures [SIZE]             regenerate the figures (+ SVGs)
-//! iqrudp ablations [SIZE]           run the design-choice ablations
-//! iqrudp trace [FRAMES] [SEED]      dump a membership trace as TSV
-//! iqrudp demo                       one coordinated flow, annotated
+//! iqrudp [FLAGS] tables [SIZE] [t1..t8]     regenerate the paper's tables
+//! iqrudp [FLAGS] figures [SIZE]             regenerate the figures (+ SVGs)
+//! iqrudp [FLAGS] ablations [SIZE]           run the design-choice ablations
+//! iqrudp trace [FRAMES] [SEED]              dump a membership trace as TSV
+//! iqrudp demo                               one coordinated flow, annotated
 //! ```
 //!
-//! `SIZE` scales the experiment workloads (1.0 = paper scale).
+//! `SIZE` scales the experiment workloads (1.0 = paper scale). Flags:
+//!
+//! * `-j N` / `--jobs N` — run scenarios on N worker threads (default:
+//!   one per core). Rendered output is byte-identical for any N.
+//! * `--verify-determinism` — run every scenario twice with the same
+//!   seed and abort if any metric differs bit-for-bit.
+//! * `--no-timing` — suppress the per-scenario wall-clock / events-per-
+//!   second report on stderr.
 
 use iq_experiments::ablations::run_all_ablations;
 use iq_experiments::figures::{figure1, figure4_from_rows, figures_2_3, render_figure4};
@@ -87,7 +94,7 @@ fn cmd_figures(args: &[String]) {
 
 fn cmd_trace(args: &[String]) {
     let len = args
-        .get(0)
+        .first()
         .and_then(|s| s.parse().ok())
         .unwrap_or(2000usize);
     let seed = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(0x4d42_6f6e);
@@ -159,8 +166,46 @@ fn cmd_demo() {
     );
 }
 
+/// Strips the runner flags (`-j`/`--jobs`, `--verify-determinism`,
+/// `--no-timing`) out of the argument list, applying them globally, and
+/// returns the remaining positional arguments.
+fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
+    let mut rest = Vec::with_capacity(args.len());
+    let mut timing = true;
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "-j" | "--jobs" => {
+                let n = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("error: {a} requires a positive integer argument");
+                        std::process::exit(2);
+                    });
+                iq_experiments::set_jobs(n);
+            }
+            _ if a.starts_with("--jobs=") || a.starts_with("-j=") => {
+                let n = a.split_once('=').and_then(|(_, v)| v.parse().ok());
+                match n {
+                    Some(n) => iq_experiments::set_jobs(n),
+                    None => {
+                        eprintln!("error: {a}: expected a positive integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--verify-determinism" => iq_experiments::set_verify_determinism(true),
+            "--no-timing" => timing = false,
+            _ => rest.push(a),
+        }
+    }
+    iq_experiments::set_timing_report(timing);
+    rest
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = apply_runner_flags(std::env::args().skip(1).collect());
     match args.first().map(|s| s.as_str()) {
         Some("tables") => cmd_tables(&args[1..]),
         Some("figures") => cmd_figures(&args[1..]),
@@ -172,7 +217,8 @@ fn main() {
         Some("demo") => cmd_demo(),
         _ => {
             eprintln!(
-                "usage: iqrudp <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
+                "usage: iqrudp [-j N] [--verify-determinism] [--no-timing] \
+                 <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
                  trace [FRAMES] [SEED] | demo>"
             );
             std::process::exit(2);

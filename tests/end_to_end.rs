@@ -145,8 +145,10 @@ fn tagged_data_survives_reliability_adaptation() {
     cfg.datagram_mode = true;
     let sink_cfg = cfg.rudp.clone();
     // Pre-unmarked policy: heavy unmarking from the start.
-    let mut adapter = MarkingAdapter::default();
-    adapter.unmark_prob = 0.6;
+    let adapter = MarkingAdapter {
+        unmark_prob: 0.6,
+        ..MarkingAdapter::default()
+    };
     let src = AdaptiveSourceAgent::new(
         cfg,
         Policy::Marking(adapter),
