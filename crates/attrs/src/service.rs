@@ -22,15 +22,53 @@ pub struct Versioned {
 /// Callback invoked when a watched attribute changes.
 pub type WatchFn = Box<dyn Fn(&AttrValue) + Send + Sync>;
 
-/// Handle for removing a watcher.
+/// Handle for removing a watcher registered through the deprecated
+/// [`AttrService::watch`]. New code should prefer
+/// [`AttrService::subscribe`], whose [`WatchGuard`] removes the watcher
+/// automatically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WatchId(u64);
+
+type SharedWatchFn = Arc<dyn Fn(&AttrValue) + Send + Sync>;
 
 #[derive(Default)]
 struct Inner {
     entries: HashMap<AttrName, Versioned>,
-    watchers: HashMap<AttrName, Vec<(WatchId, WatchFn)>>,
+    watchers: HashMap<AttrName, Vec<(u64, SharedWatchFn)>>,
     next_watch_id: u64,
+}
+
+/// RAII registration handle returned by [`AttrService::subscribe`]: the
+/// watcher stays registered for as long as the guard lives and is
+/// removed when the guard drops, so removal can never be forgotten and
+/// never races with a stale id.
+#[must_use = "dropping the guard immediately unregisters the watcher"]
+pub struct WatchGuard {
+    inner: Arc<RwLock<Inner>>,
+    id: u64,
+}
+
+impl Drop for WatchGuard {
+    fn drop(&mut self) {
+        remove_watcher(&self.inner, self.id);
+    }
+}
+
+impl std::fmt::Debug for WatchGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WatchGuard").field("id", &self.id).finish()
+    }
+}
+
+fn remove_watcher(inner: &RwLock<Inner>, id: u64) -> bool {
+    let mut g = inner.write().unwrap_or_else(|e| e.into_inner());
+    for ws in g.watchers.values_mut() {
+        if let Some(idx) = ws.iter().position(|(wid, _)| *wid == id) {
+            drop(ws.remove(idx));
+            return true;
+        }
+    }
+    false
 }
 
 /// Shared attribute registry. Cheap to clone; clones view the same state.
@@ -71,40 +109,62 @@ impl AttrService {
             });
         entry.value = value.clone();
         let version = entry.version;
-        // Invoke watchers outside the entry borrow but under the lock,
-        // preserving update ordering per attribute. Watchers must not
-        // call back into the service (they would deadlock); they are
-        // notification hooks, not transaction participants.
-        if let Some(ws) = g.watchers.get(&name) {
-            for (_, f) in ws {
-                f(&value);
-            }
+        // Snapshot the matching watchers and release the lock before
+        // invoking them: callbacks may re-enter the service (query,
+        // update another attribute, even subscribe) without deadlocking.
+        // Each watcher sees the value of the update that triggered it;
+        // under concurrent updates of the same attribute, callback
+        // delivery order between the two updates is unspecified.
+        let to_call: Vec<SharedWatchFn> = g
+            .watchers
+            .get(&name)
+            .map(|ws| ws.iter().map(|(_, f)| Arc::clone(f)).collect())
+            .unwrap_or_default();
+        drop(g);
+        for f in &to_call {
+            f(&value);
         }
         version
+    }
+
+    fn register(&self, name: AttrName, f: SharedWatchFn) -> u64 {
+        let mut g = self.write();
+        g.next_watch_id += 1;
+        let id = g.next_watch_id;
+        g.watchers.entry(name).or_default().push((id, f));
+        id
     }
 
     /// Registers a callback invoked on every update of `name` — the
     /// paper's attribute-based callback registration (§2.2: "the
     /// application registers for call-backs from IQ-RUDP using
-    /// attributes").
-    pub fn watch(&self, name: impl Into<AttrName>, f: WatchFn) -> WatchId {
-        let mut g = self.write();
-        g.next_watch_id += 1;
-        let id = WatchId(g.next_watch_id);
-        g.watchers.entry(name.into()).or_default().push((id, f));
-        id
+    /// attributes"). The watcher lives until the returned [`WatchGuard`]
+    /// is dropped. Callbacks run outside the registry lock, so they may
+    /// call back into the service.
+    pub fn subscribe(
+        &self,
+        name: impl Into<AttrName>,
+        f: impl Fn(&AttrValue) + Send + Sync + 'static,
+    ) -> WatchGuard {
+        let id = self.register(name.into(), Arc::new(f));
+        WatchGuard {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
     }
 
-    /// Removes a watcher; returns whether it existed.
+    /// Registers a callback with manual lifetime management.
+    #[deprecated(note = "use `subscribe`, which returns an RAII `WatchGuard` \
+                         instead of a `WatchId` that must be `unwatch`ed by hand")]
+    pub fn watch(&self, name: impl Into<AttrName>, f: WatchFn) -> WatchId {
+        WatchId(self.register(name.into(), Arc::from(f)))
+    }
+
+    /// Removes a watcher registered with [`Self::watch`]; returns
+    /// whether it existed.
+    #[deprecated(note = "use `subscribe`; dropping its `WatchGuard` removes the watcher")]
     pub fn unwatch(&self, id: WatchId) -> bool {
-        let mut g = self.write();
-        for ws in g.watchers.values_mut() {
-            if let Some(idx) = ws.iter().position(|(wid, _)| *wid == id) {
-                drop(ws.remove(idx));
-                return true;
-            }
-        }
-        false
+        remove_watcher(&self.inner, id.0)
     }
 
     /// Queries the current value of `name`.
@@ -192,22 +252,21 @@ mod tests {
     }
 
     #[test]
-    fn watchers_fire_on_update() {
+    fn watchers_fire_on_update_and_unregister_on_guard_drop() {
         use std::sync::atomic::{AtomicU64, Ordering};
         use std::sync::Arc;
         let s = AttrService::new();
         let hits = Arc::new(AtomicU64::new(0));
         let h = hits.clone();
-        let id = s.watch(names::NET_ERROR_RATIO, Box::new(move |v| {
+        let guard = s.subscribe(names::NET_ERROR_RATIO, move |v| {
             assert!(v.as_float().is_some());
             h.fetch_add(1, Ordering::SeqCst);
-        }));
+        });
         s.update(names::NET_ERROR_RATIO, 0.1);
         s.update(names::NET_ERROR_RATIO, 0.2);
         s.update(names::NET_RTT_MS, 30.0); // different attribute: no hit
         assert_eq!(hits.load(Ordering::SeqCst), 2);
-        assert!(s.unwatch(id));
-        assert!(!s.unwatch(id));
+        drop(guard);
         s.update(names::NET_ERROR_RATIO, 0.3);
         assert_eq!(hits.load(Ordering::SeqCst), 2);
     }
@@ -218,14 +277,54 @@ mod tests {
         use std::sync::Arc;
         let s = AttrService::new();
         let hits = Arc::new(AtomicU64::new(0));
-        for _ in 0..3 {
-            let h = hits.clone();
-            s.watch("x", Box::new(move |_| {
-                h.fetch_add(1, Ordering::SeqCst);
-            }));
-        }
+        let guards: Vec<WatchGuard> = (0..3)
+            .map(|_| {
+                let h = hits.clone();
+                s.subscribe("x", move |_| {
+                    h.fetch_add(1, Ordering::SeqCst);
+                })
+            })
+            .collect();
         s.update("x", 1i64);
         assert_eq!(hits.load(Ordering::SeqCst), 3);
+        drop(guards);
+        s.update("x", 2i64);
+        assert_eq!(hits.load(Ordering::SeqCst), 3);
+    }
+
+    #[test]
+    fn watchers_may_reenter_the_service() {
+        // Callbacks run outside the registry lock, so a watcher can
+        // query and even update other attributes from inside the
+        // notification without deadlocking.
+        let s = AttrService::new();
+        let s2 = s.clone();
+        let _g = s.subscribe(names::NET_ERROR_RATIO, move |v| {
+            let e = v.as_float().unwrap();
+            assert_eq!(s2.query_float(names::NET_ERROR_RATIO), Some(e));
+            s2.update("derived", e * 2.0);
+        });
+        s.update(names::NET_ERROR_RATIO, 0.25);
+        assert_eq!(s.query_float("derived"), Some(0.5));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_watch_unwatch_shims_still_work() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::Arc;
+        let s = AttrService::new();
+        let hits = Arc::new(AtomicU64::new(0));
+        let h = hits.clone();
+        let id = s.watch("x", Box::new(move |_| {
+            h.fetch_add(1, Ordering::SeqCst);
+        }));
+        s.update("x", 1i64);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
+        assert!(s.unwatch(id));
+        assert!(!s.unwatch(id));
+        s.update("x", 2i64);
+        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

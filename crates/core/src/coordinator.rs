@@ -23,6 +23,7 @@
 use iq_attrs::{names, AttrList, AttrService};
 use iq_netsim::Time;
 use iq_rudp::{ConnEvent, NetCond, SendOutcome, SenderConn};
+use iq_telemetry::{CwndReason, TelemetryEvent};
 
 use crate::report::{cond_window_factor, resolution_window_factor, AdaptReport};
 
@@ -128,7 +129,7 @@ impl Coordinator {
     ) -> SendOutcome {
         self.last_msg_size = size;
         if !attrs.is_empty() {
-            self.handle_report(conn, AdaptReport::from_attrs(attrs));
+            self.handle_report(conn, now, AdaptReport::from_attrs(attrs));
         }
         conn.send_message(now, size, marked)
     }
@@ -140,13 +141,13 @@ impl Coordinator {
     }
 
     /// Reports an adaptation outside a send (a callback return value).
-    pub fn report_adaptation(&mut self, conn: &mut SenderConn, attrs: &AttrList) {
+    pub fn report_adaptation(&mut self, conn: &mut SenderConn, now: Time, attrs: &AttrList) {
         if !attrs.is_empty() {
-            self.handle_report(conn, AdaptReport::from_attrs(attrs));
+            self.handle_report(conn, now, AdaptReport::from_attrs(attrs));
         }
     }
 
-    fn handle_report(&mut self, conn: &mut SenderConn, report: AdaptReport) {
+    fn handle_report(&mut self, conn: &mut SenderConn, now: Time, report: AdaptReport) {
         if self.mode == CoordinationMode::Uncoordinated {
             return;
         }
@@ -182,12 +183,15 @@ impl Coordinator {
             let frames_below_mss = self.last_msg_size <= self.mss;
             let pending = self.pending.take();
             if frames_below_mss && rate_chg > 0.0 {
+                // (eratio_then, eratio_now) when Eq. (1) was applied.
+                let mut cond_used: Option<(f64, f64)> = None;
                 let factor = match (self.mode, report.cond_eratio, pending) {
                     // Scheme 3: the application told us the conditions it
                     // based the (possibly delayed) adaptation on.
                     (CoordinationMode::CoordinatedWithCond, Some(then), _) => {
                         self.log.cond_corrections += 1;
                         let now_e = conn.net_cond().eratio_smoothed;
+                        cond_used = Some((then, now_e));
                         cond_window_factor(rate_chg, then, now_e)
                     }
                     // Scheme 3 without an explicit ADAPT_COND: fall back
@@ -196,6 +200,7 @@ impl Coordinator {
                     (CoordinationMode::CoordinatedWithCond, None, Some(p)) => {
                         self.log.cond_corrections += 1;
                         let now_e = conn.net_cond().eratio_smoothed;
+                        cond_used = Some((p.eratio_at_announce, now_e));
                         cond_window_factor(rate_chg, p.eratio_at_announce, now_e)
                     }
                     // Scheme 2 (or an immediate adaptation): plain §3.4
@@ -204,7 +209,33 @@ impl Coordinator {
                 };
                 self.log.window_rescales += 1;
                 self.log.cumulative_factor *= factor;
-                conn.scale_cwnd(factor);
+                let cwnd = conn.scale_cwnd(factor);
+                let sink = conn.telemetry();
+                let flow = conn.telemetry_flow();
+                if let Some((eratio_then, eratio_now)) = cond_used {
+                    sink.emit(
+                        now,
+                        flow,
+                        TelemetryEvent::AdaptCond {
+                            eratio_then,
+                            eratio_now,
+                        },
+                    );
+                }
+                sink.emit_with(now, flow, || TelemetryEvent::WindowReinflate {
+                    rate_chg,
+                    factor,
+                    cwnd,
+                    srtt_ms: conn.net_cond().srtt_ms,
+                });
+                sink.emit(
+                    now,
+                    flow,
+                    TelemetryEvent::CwndUpdate {
+                        cwnd,
+                        reason: CwndReason::Rescale,
+                    },
+                );
             }
         }
     }
@@ -279,10 +310,10 @@ mod tests {
     #[test]
     fn reliability_report_toggles_discard() {
         let (mut c, mut conn) = setup(CoordinationMode::Coordinated);
-        c.report_adaptation(&mut conn, &AttrList::new().with(names::ADAPT_MARK, 0.4));
+        c.report_adaptation(&mut conn, 0, &AttrList::new().with(names::ADAPT_MARK, 0.4));
         assert!(conn.discard_unmarked());
         // Unmarking probability dropped to zero: discard turns off.
-        c.report_adaptation(&mut conn, &AttrList::new().with(names::ADAPT_MARK, 0.0));
+        c.report_adaptation(&mut conn, 0, &AttrList::new().with(names::ADAPT_MARK, 0.0));
         assert!(!conn.discard_unmarked());
         assert_eq!(c.log().reliability_reports, 2);
     }
@@ -291,7 +322,7 @@ mod tests {
     fn frequency_report_leaves_window_alone() {
         let (mut c, mut conn) = setup(CoordinationMode::Coordinated);
         let before = conn.cwnd();
-        c.report_adaptation(&mut conn, &AttrList::new().with(names::ADAPT_FREQ, 0.5));
+        c.report_adaptation(&mut conn, 0, &AttrList::new().with(names::ADAPT_FREQ, 0.5));
         assert_eq!(conn.cwnd(), before);
         assert_eq!(c.log().frequency_reports, 1);
     }
@@ -311,7 +342,7 @@ mod tests {
         let (mut c, mut conn) = setup(CoordinationMode::Coordinated);
         let before = conn.cwnd();
         // Announce: adaptation in 20 messages. No window change yet.
-        c.report_adaptation(&mut conn, &AttrList::new().with(names::ADAPT_WHEN, 20i64));
+        c.report_adaptation(&mut conn, 0, &AttrList::new().with(names::ADAPT_WHEN, 20i64));
         assert_eq!(conn.cwnd(), before);
         assert_eq!(c.log().deferred_announcements, 1);
         // Execute.

@@ -178,6 +178,32 @@ impl FrequencyAdapter {
     }
 }
 
+/// Maps the `ADAPT_*` attributes an adapter returned into telemetry
+/// events, one per attribute present.
+///
+/// Pure translation, shared by every emit point that reports application
+/// adaptations (the adaptive source, channels, the FTP agent): the
+/// attribute list is already the paper's description of "what the
+/// application did", so telemetry reuses it instead of inventing a
+/// second vocabulary.
+pub fn adaptation_events(attrs: &AttrList) -> Vec<iq_telemetry::TelemetryEvent> {
+    use iq_telemetry::TelemetryEvent as E;
+    let mut out = Vec::new();
+    if let Some(unmark_prob) = attrs.get_float(names::ADAPT_MARK) {
+        out.push(E::AdaptMark { unmark_prob });
+    }
+    if let Some(rate_chg) = attrs.get_float(names::ADAPT_PKTSIZE) {
+        out.push(E::AdaptPktSize { rate_chg });
+    }
+    if let Some(rate_chg) = attrs.get_float(names::ADAPT_FREQ) {
+        out.push(E::AdaptFreq { rate_chg });
+    }
+    if let Some(frames_ahead) = attrs.get_int(names::ADAPT_WHEN) {
+        out.push(E::AdaptWhen { frames_ahead });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -268,6 +294,19 @@ mod tests {
         assert_eq!(r.apply(1000, 64), 500);
         r.scale = 0.01;
         assert_eq!(r.apply(1000, 64), 64);
+    }
+
+    #[test]
+    fn adaptation_events_map_each_attribute() {
+        use iq_telemetry::TelemetryEvent as E;
+        let attrs = AttrList::new()
+            .with(names::ADAPT_PKTSIZE, 0.2)
+            .with(names::ADAPT_WHEN, 20i64);
+        let evs = adaptation_events(&attrs);
+        assert!(evs.contains(&E::AdaptPktSize { rate_chg: 0.2 }));
+        assert!(evs.contains(&E::AdaptWhen { frames_ahead: 20 }));
+        assert_eq!(evs.len(), 2);
+        assert!(adaptation_events(&AttrList::new()).is_empty());
     }
 
     #[test]

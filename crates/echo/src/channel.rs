@@ -197,7 +197,7 @@ impl ChannelSourceAgent {
                     }
                     Policy::Deferred(_) => AttrList::new(), // not supported on channels
                 };
-                s.coordinator.report_adaptation(&mut s.driver.conn, &attrs);
+                s.coordinator.report_adaptation(&mut s.driver.conn, now, &attrs);
             }
         }
     }

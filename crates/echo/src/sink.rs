@@ -8,8 +8,9 @@
 //! the sender on the next ACK.
 
 use iq_metrics::FlowMetrics;
-use iq_netsim::{Agent, Ctx, FlowId, Packet};
-use iq_rudp::{ReceiverConn, ReceiverDriver, RudpConfig};
+use iq_netsim::{Agent, Ctx, FlowId, Packet, Time};
+use iq_rudp::{ReceiverDriver, RudpConfig};
+use iq_telemetry::{TelemetryEvent, TelemetrySink};
 
 /// Policy for the receiver-side tolerance controller.
 #[derive(Debug, Clone)]
@@ -55,12 +56,19 @@ impl AdaptiveToleranceSink {
     /// Creates the sink; `cfg.loss_tolerance` is the starting point.
     pub fn new(conn_id: u32, cfg: RudpConfig, flow: FlowId, policy: TolerancePolicy) -> Self {
         Self {
-            driver: ReceiverDriver::new(ReceiverConn::new(conn_id, cfg), flow),
+            driver: cfg.builder(conn_id, flow).build_receiver(),
             policy,
             metrics: FlowMetrics::new(),
             window: (0.0, 0),
             adjustments: (0, 0),
         }
+    }
+
+    /// Attaches a telemetry sink so tolerance changes land on the bus.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        let flow = self.driver.conn.telemetry_flow();
+        self.driver.conn.set_telemetry(sink, flow);
+        self
     }
 
     /// Current loss tolerance.
@@ -73,7 +81,7 @@ impl AdaptiveToleranceSink {
         self.driver.conn.is_finished()
     }
 
-    fn decide(&mut self) {
+    fn decide(&mut self, now: Time) {
         let (sum, n) = self.window;
         if n < self.policy.decide_every {
             return;
@@ -87,12 +95,22 @@ impl AdaptiveToleranceSink {
             if next > current {
                 self.driver.conn.set_loss_tolerance(next);
                 self.adjustments.0 += 1;
+                self.emit_tolerance(now, next, true);
             }
         } else if mean_latency < self.policy.ok_latency_s && current > 0.0 {
             let next = (current - self.policy.step).max(0.0);
             self.driver.conn.set_loss_tolerance(next);
             self.adjustments.1 += 1;
+            self.emit_tolerance(now, next, false);
         }
+    }
+
+    fn emit_tolerance(&self, now: Time, tolerance: f64, raised: bool) {
+        self.driver.conn.telemetry().emit(
+            now,
+            self.driver.conn.telemetry_flow(),
+            TelemetryEvent::ToleranceChange { tolerance, raised },
+        );
     }
 }
 
@@ -112,7 +130,7 @@ impl Agent for AdaptiveToleranceSink {
                 msg.marked,
             );
         }
-        self.decide();
+        self.decide(ctx.now());
         self.driver.conn.take_events();
         self.driver.pump(ctx);
     }
@@ -169,22 +187,22 @@ mod tests {
         let p = TolerancePolicy::default();
         // 25 punctual messages: stays at zero.
         sink.window = (0.010 * p.decide_every as f64, p.decide_every);
-        sink.decide();
+        sink.decide(0);
         assert_eq!(sink.tolerance(), 0.0);
         assert_eq!(sink.adjustments, (0, 0));
         // 25 late messages: tolerance rises one step.
         sink.window = (0.500 * p.decide_every as f64, p.decide_every);
-        sink.decide();
+        sink.decide(0);
         assert!((sink.tolerance() - p.step).abs() < 1e-12);
         assert_eq!(sink.adjustments.0, 1);
         // Latency recovers: tolerance steps back down to zero.
         sink.window = (0.010 * p.decide_every as f64, p.decide_every);
-        sink.decide();
+        sink.decide(0);
         assert_eq!(sink.tolerance(), 0.0);
         assert_eq!(sink.adjustments.1, 1);
         // Partial windows never decide.
         sink.window = (100.0, p.decide_every - 1);
-        sink.decide();
+        sink.decide(0);
         assert_eq!(sink.adjustments, (1, 1));
     }
 

@@ -9,13 +9,12 @@
 use iq_attrs::AttrList;
 use iq_core::{CoordinationMode, Coordinator};
 use iq_netsim::{time, Addr, Agent, Ctx, FlowId, Packet, Time};
-use iq_rudp::{
-    ConnEvent, NetCond, RudpConfig, SenderConn, SenderDriver, DEFAULT_MSS, RUDP_TIMER_TOKEN,
-};
+use iq_rudp::{ConnEvent, NetCond, RudpConfig, SenderConn, SenderDriver, DEFAULT_MSS};
+use iq_telemetry::TelemetrySink;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 
-use crate::adapters::{FrequencyAdapter, MarkingAdapter, ResolutionAdapter};
+use crate::adapters::{adaptation_events, FrequencyAdapter, MarkingAdapter, ResolutionAdapter};
 use crate::deferred::DeferredResolution;
 
 /// Timer token for frame emission (fixed-rate sources).
@@ -139,9 +138,8 @@ pub struct AdaptiveSourceAgent {
 impl AdaptiveSourceAgent {
     /// Builds the agent; `peer` is the sink's address.
     pub fn new(cfg: SourceConfig, policy: Policy, peer: Addr, flow: FlowId) -> Self {
-        let conn = SenderConn::new(cfg.conn_id, cfg.rudp.clone());
         Self {
-            driver: SenderDriver::new(conn, peer, flow),
+            driver: cfg.rudp.builder(cfg.conn_id, flow).build_sender(peer),
             coordinator: Coordinator::new(cfg.mode),
             policy,
             frame_sizes: cfg.frame_sizes,
@@ -168,6 +166,25 @@ impl AdaptiveSourceAgent {
     /// The underlying connection (stats, window).
     pub fn conn(&self) -> &SenderConn {
         &self.driver.conn
+    }
+
+    /// Attaches a telemetry sink to the underlying connection so the
+    /// source's adaptation decisions land on the same bus as the
+    /// transport's events.
+    pub fn with_telemetry(mut self, sink: TelemetrySink) -> Self {
+        let flow = self.driver.conn.telemetry_flow();
+        self.driver.conn.set_telemetry(sink, flow);
+        self
+    }
+
+    fn emit_adaptation(&self, now: Time, attrs: &AttrList) {
+        let sink = self.driver.conn.telemetry();
+        if sink.is_enabled() {
+            let flow = self.driver.conn.telemetry_flow();
+            for ev in adaptation_events(attrs) {
+                sink.emit(now, flow, ev);
+            }
+        }
     }
 
     /// What coordination did during the run.
@@ -227,8 +244,9 @@ impl AdaptiveSourceAgent {
             Policy::Deferred(d) => d.on_threshold(upper, &cond, self.frames_emitted),
         };
         // The callback's return value flows back to the transport.
+        self.emit_adaptation(now, &attrs);
         self.coordinator
-            .report_adaptation(&mut self.driver.conn, &attrs);
+            .report_adaptation(&mut self.driver.conn, now, &attrs);
     }
 
     fn process_events(&mut self, now: Time) {
@@ -257,6 +275,7 @@ impl AdaptiveSourceAgent {
             Policy::Deferred(d) => d.on_frame(frame_no),
             _ => AttrList::new(),
         };
+        self.emit_adaptation(now, &attrs);
         let size = ((nominal as f64 * self.policy.frame_scale()) as u32)
             .max(self.min_frame_bytes);
 
@@ -351,22 +370,17 @@ impl Agent for AdaptiveSourceAgent {
     }
 
     fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        match token {
-            RUDP_TIMER_TOKEN => {
-                self.driver.handle_timer(ctx);
-                self.process_events(ctx.now());
-                self.refill_greedy(ctx.now());
-                self.driver.pump(ctx);
+        if self.driver.on_timer(ctx, token) {
+            self.process_events(ctx.now());
+            self.refill_greedy(ctx.now());
+            self.driver.pump(ctx);
+        } else if token == FRAME_TIMER_TOKEN {
+            let now = ctx.now();
+            if self.emit_frame(now) {
+                self.schedule_next_frame(ctx);
             }
-            FRAME_TIMER_TOKEN => {
-                let now = ctx.now();
-                if self.emit_frame(now) {
-                    self.schedule_next_frame(ctx);
-                }
-                self.process_events(now);
-                self.driver.pump(ctx);
-            }
-            _ => {}
+            self.process_events(now);
+            self.driver.pump(ctx);
         }
     }
 }

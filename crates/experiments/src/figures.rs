@@ -20,9 +20,33 @@ pub fn figure1() -> TimeSeries {
 /// Figures 2 and 3: per-packet delay jitter at the receiver for the
 /// conflict experiment, coordinated (Figure 2) vs uncoordinated
 /// (Figure 3). Returns `(iq_rudp_series, rudp_series)`.
+///
+/// When telemetry capture is on, each series is rebuilt from the run's
+/// `msg_delivered` bus records; [`jitter_series_from_telemetry`] makes
+/// this bit-identical to the receiver-side accumulator, so the figure
+/// does not depend on how it was derived.
 pub fn figures_2_3(size: Size) -> (TimeSeries, TimeSeries) {
     let rows = run_table3(size);
-    (rows[0].jitter_series.clone(), rows[1].jitter_series.clone())
+    (jitter_series_for(&rows[0]), jitter_series_for(&rows[1]))
+}
+
+fn jitter_series_for(r: &RunResult) -> TimeSeries {
+    jitter_series_from_telemetry(r, 1).unwrap_or_else(|| r.jitter_series.clone())
+}
+
+/// Rebuilds the Figures 2/3 jitter series for `flow` from a run's
+/// captured telemetry (the `msg_delivered` records). Returns `None`
+/// when the run carried no telemetry or the stream fails to parse.
+pub fn jitter_series_from_telemetry(r: &RunResult, flow: u64) -> Option<TimeSeries> {
+    if r.telemetry.is_empty() {
+        return None;
+    }
+    let records = iq_telemetry::parse_jsonl(&r.telemetry).ok()?;
+    let mut s = TimeSeries::new();
+    for (at, dev_ms) in iq_telemetry::jitter_series_ms(&records, flow) {
+        s.record(at, dev_ms);
+    }
+    Some(s)
 }
 
 /// One bar group of Figure 4.
@@ -95,6 +119,30 @@ mod tests {
     use super::*;
 
     #[test]
+    fn bus_derived_jitter_series_matches_receiver_accumulator() {
+        use crate::runner::{capture_lock_for_tests, set_telemetry_capture};
+        use crate::scenario::{run_scenario, PolicySpec, Scenario, Scheme};
+        let _g = capture_lock_for_tests();
+        set_telemetry_capture(true);
+        let mut sc = Scenario::new(Scheme::RudpPlain, PolicySpec::None, vec![1400; 80]);
+        sc.cross.cbr_bps = Some(8e6);
+        sc.deadline_s = 60.0;
+        let r = run_scenario(&sc);
+        set_telemetry_capture(false);
+        let rebuilt = jitter_series_from_telemetry(&r, 1).expect("telemetry captured");
+        assert_eq!(rebuilt.len(), r.jitter_series.len());
+        for (a, b) in rebuilt.points.iter().zip(&r.jitter_series.points) {
+            assert_eq!(a.0, b.0, "jitter sample timestamps diverge");
+            assert_eq!(
+                a.1.to_bits(),
+                b.1.to_bits(),
+                "jitter sample values diverge at t={}",
+                a.0
+            );
+        }
+    }
+
+    #[test]
     fn figure1_mirrors_the_trace() {
         let s = figure1();
         let trace = MembershipTrace::paper_default();
@@ -123,6 +171,7 @@ mod tests {
                 callbacks: (0, 0),
                 sender_stats: None,
                 events_processed: 0,
+                telemetry: String::new(),
             }
         }
         let rows = vec![

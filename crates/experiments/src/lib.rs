@@ -17,8 +17,8 @@ pub mod scenario;
 pub mod tables;
 
 pub use runner::{
-    jobs, run_parallel, run_specs, set_jobs, set_timing_report, set_verify_determinism, Executor,
-    ScenarioReport, ScenarioSpec,
+    jobs, run_parallel, run_specs, set_jobs, set_telemetry_capture, set_telemetry_dir,
+    set_timing_report, set_verify_determinism, Executor, ScenarioReport, ScenarioSpec,
 };
 pub use scenario::{
     app_frame_sizes, run_scenario, CrossTraffic, PolicySpec, RunResult, Scenario, Scheme,

@@ -11,7 +11,7 @@
 //! never depend on `--jobs`.
 
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc;
+use std::sync::{mpsc, Mutex};
 use std::time::Instant;
 
 use iq_metrics::{fmt, Table};
@@ -24,6 +24,14 @@ static JOBS: AtomicUsize = AtomicUsize::new(0);
 static VERIFY_DETERMINISM: AtomicBool = AtomicBool::new(false);
 /// When set, per-scenario wall-clock and events/sec go to stderr.
 static TIMING: AtomicBool = AtomicBool::new(false);
+/// When set, scenarios capture structured telemetry in memory
+/// ([`RunResult::telemetry`](crate::scenario::RunResult)).
+static TELEMETRY_CAPTURE: AtomicBool = AtomicBool::new(false);
+/// Destination directory for per-scenario telemetry JSONL dumps.
+static TELEMETRY_DIR: Mutex<Option<String>> = Mutex::new(None);
+/// Process-wide dump counter so files keep declaration order across
+/// successive executor invocations (tables run one after another).
+static TELEMETRY_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the worker count used by [`run_parallel`] (0 = auto: one worker
 /// per available core). Typically wired to a `--jobs N` CLI flag.
@@ -49,6 +57,44 @@ pub fn set_verify_determinism(on: bool) {
 /// stderr (stdout stays clean so rendered tables are unaffected).
 pub fn set_timing_report(on: bool) {
     TIMING.store(on, Ordering::Relaxed);
+}
+
+/// Enables in-memory telemetry capture: each scenario attaches a bus to
+/// its simulator and transport stack and serializes the records into
+/// [`RunResult::telemetry`](crate::scenario::RunResult). Off by default
+/// (the disabled sink costs one branch per would-be event and the
+/// rendered tables are byte-identical either way).
+pub fn set_telemetry_capture(on: bool) {
+    TELEMETRY_CAPTURE.store(on, Ordering::Relaxed);
+}
+
+/// Routes telemetry to disk: enables capture and makes the executor
+/// write one `NNN_<scenario>.jsonl` file per scenario under `dir`.
+/// Typically wired to a `--telemetry <dir>` CLI flag. `None` turns the
+/// file dumps off again (capture stays as last set).
+pub fn set_telemetry_dir(dir: Option<String>) {
+    if dir.is_some() {
+        set_telemetry_capture(true);
+    }
+    *TELEMETRY_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+/// Whether scenarios should capture telemetry.
+pub fn telemetry_enabled() -> bool {
+    TELEMETRY_CAPTURE.load(Ordering::Relaxed)
+}
+
+fn telemetry_dir() -> Option<String> {
+    TELEMETRY_DIR.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// Serializes tests that toggle or observe the global telemetry-capture
+/// state (fingerprints hash the telemetry bytes, so a mid-test toggle
+/// from a sibling test would read as a false determinism diff).
+#[cfg(test)]
+pub(crate) fn capture_lock_for_tests() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(|e| e.into_inner())
 }
 
 /// A named, self-contained unit of work for the executor: everything a
@@ -117,6 +163,14 @@ fn fingerprint(r: &RunResult) -> Vec<u64> {
             .iter()
             .flat_map(|&(t, v)| [t, v.to_bits()]),
     );
+    // FNV-1a over the serialized telemetry: any byte-level divergence
+    // between runs is a determinism bug just like a metric mismatch.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in r.telemetry.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    fp.push(h);
     fp
 }
 
@@ -202,12 +256,47 @@ impl Executor {
                 }
                 slots[i] = Some(report);
             }
-            slots
+            let reports: Vec<ScenarioReport> = slots
                 .into_iter()
                 .enumerate()
                 .map(|(i, s)| s.unwrap_or_else(|| panic!("scenario {i} worker panicked")))
-                .collect()
+                .collect();
+            if let Some(dir) = telemetry_dir() {
+                dump_telemetry(&dir, &reports);
+            }
+            reports
         })
+    }
+}
+
+/// Writes one JSONL file per telemetry-carrying report, in declaration
+/// order (the sequence numbers come from a process-wide counter, so a
+/// multi-table sweep keeps a stable global ordering too).
+fn dump_telemetry(dir: &str, reports: &[ScenarioReport]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("telemetry: cannot create {dir}: {e}");
+        return;
+    }
+    for rep in reports {
+        if rep.result.telemetry.is_empty() {
+            continue;
+        }
+        let n = TELEMETRY_SEQ.fetch_add(1, Ordering::Relaxed);
+        let safe: String = rep
+            .name
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = std::path::Path::new(dir).join(format!("{n:03}_{safe}.jsonl"));
+        if let Err(e) = std::fs::write(&path, &rep.result.telemetry) {
+            eprintln!("telemetry: cannot write {}: {e}", path.display());
+        }
     }
 }
 
@@ -351,8 +440,11 @@ mod tests {
         sc
     }
 
+    use super::capture_lock_for_tests as capture_lock;
+
     #[test]
     fn parallel_matches_sequential() {
+        let _g = capture_lock();
         let sc = small_scenario(1);
         let seq = run_scenario(&sc);
         let par = run_parallel(&[sc.clone(), sc.clone()]);
@@ -363,6 +455,7 @@ mod tests {
 
     #[test]
     fn executor_preserves_declaration_order() {
+        let _g = capture_lock();
         let specs: Vec<ScenarioSpec> = (0..6)
             .map(|i| ScenarioSpec::new(format!("s{i}"), small_scenario(i)))
             .collect();
@@ -386,7 +479,36 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_is_byte_identical_across_worker_counts_and_dumped() {
+        let _g = capture_lock();
+        let dir = std::env::temp_dir().join(format!("iq_telemetry_test_{}", std::process::id()));
+        set_telemetry_dir(Some(dir.display().to_string()));
+        let specs: Vec<ScenarioSpec> = (0..4)
+            .map(|i| ScenarioSpec::new(format!("t{i}"), small_scenario(i)))
+            .collect();
+        let serial = Executor::new(1).run(&specs);
+        let parallel = Executor::new(4).run(&specs);
+        set_telemetry_dir(None);
+        set_telemetry_capture(false);
+        for (a, b) in serial.iter().zip(&parallel) {
+            assert!(
+                !a.result.telemetry.is_empty(),
+                "capture enabled but no telemetry recorded"
+            );
+            assert_eq!(
+                a.result.telemetry, b.result.telemetry,
+                "telemetry diverged between -j 1 and -j 4 for `{}`",
+                a.name
+            );
+        }
+        let dumped = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(dumped, 2 * specs.len(), "one JSONL file per executed scenario");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn verify_determinism_passes_on_deterministic_scenarios() {
+        let _g = capture_lock();
         set_verify_determinism(true);
         let specs = [ScenarioSpec::new("det", small_scenario(3))];
         let reports = Executor::new(2).run(&specs);

@@ -13,6 +13,7 @@ use iq_netsim::{
 };
 use iq_rudp::RudpConfig;
 use iq_tcp::{TcpBulkSenderAgent, TcpConfig, TcpSenderConn, TcpSinkAgent};
+use iq_telemetry::{to_jsonl, TelemetrySink};
 use iq_trace::{MembershipConfig, MembershipTrace};
 use iq_workload::{CbrSource, VbrSource};
 
@@ -237,6 +238,11 @@ pub struct RunResult {
     /// Simulator events processed during the run (for events/sec
     /// throughput reporting; not a paper metric).
     pub events_processed: u64,
+    /// Structured telemetry captured during the run, serialized as
+    /// JSONL (one record per line). Empty unless telemetry capture is
+    /// enabled via [`crate::runner::set_telemetry_capture`] or
+    /// [`crate::runner::set_telemetry_dir`].
+    pub telemetry: String,
 }
 
 /// Attaches the configured cross traffic to a dumbbell. Pair 1 carries
@@ -317,11 +323,18 @@ fn rudp_config(sc: &Scenario) -> RudpConfig {
 }
 
 fn run_rudp(sc: &Scenario) -> RunResult {
+    let (tsink, bus) = if crate::runner::telemetry_enabled() {
+        let (s, b) = TelemetrySink::new_bus(0);
+        (s, Some(b))
+    } else {
+        (TelemetrySink::disabled(), None)
+    };
     let mut sim = Simulator::new(sc.seed);
     let mut dspec = sc.dumbbell.clone();
     dspec.red_bottleneck = sc.red_bottleneck;
     let db = build_dumbbell(&mut sim, &dspec);
     add_cross_traffic(&mut sim, &db, &sc.cross, sc.deadline_s);
+    sim.attach_telemetry(tsink.clone());
 
     let mut cfg = SourceConfig::new(1, sc.frame_sizes.clone());
     cfg.rudp = rudp_config(sc);
@@ -333,15 +346,22 @@ fn run_rudp(sc: &Scenario) -> RunResult {
     cfg.seed = sc.seed ^ 0x5eed;
     let sink_cfg = cfg.rudp.clone();
     let policy = sc.policy.build(sc.scheme);
-    let src = AdaptiveSourceAgent::new(cfg, policy, Addr::new(db.right_hosts[0], 1), FlowId(1));
+    let src = AdaptiveSourceAgent::new(cfg, policy, Addr::new(db.right_hosts[0], 1), FlowId(1))
+        .with_telemetry(tsink.clone());
     let tx = sim.add_agent(db.left_hosts[0], 1, Box::new(src));
     let rx = sim.add_agent(
         db.right_hosts[0],
         1,
-        Box::new(EchoSinkAgent::new(1, sink_cfg, FlowId(1))),
+        Box::new(EchoSinkAgent::from_driver(
+            sink_cfg.builder(1, FlowId(1)).telemetry(tsink).build_receiver(),
+        )),
     );
     run_until_quiet(&mut sim, sc.deadline_s, rx);
 
+    let telemetry = bus.map_or_else(String::new, |b| {
+        let bus = b.lock().unwrap_or_else(|e| e.into_inner());
+        to_jsonl(&bus.records())
+    });
     let events_processed = sim.counters().events_processed;
     let src = sim.agent::<AdaptiveSourceAgent>(tx).expect("source");
     let sink = sim.agent::<EchoSinkAgent>(rx).expect("sink");
@@ -363,6 +383,7 @@ fn run_rudp(sc: &Scenario) -> RunResult {
         callbacks: src.callbacks,
         sender_stats: Some(src.conn().stats()),
         events_processed,
+        telemetry,
     }
 }
 
@@ -418,6 +439,7 @@ fn run_tcp(sc: &Scenario) -> RunResult {
         callbacks: (0, 0),
         sender_stats: None,
         events_processed,
+        telemetry: String::new(),
     }
 }
 

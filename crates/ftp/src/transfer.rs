@@ -169,7 +169,7 @@ impl FtpSenderAgent {
                     };
                     let attrs = AttrList::new().with(names::ADAPT_MARK, frac);
                     self.coordinator
-                        .report_adaptation(&mut self.driver.conn, &attrs);
+                        .report_adaptation(&mut self.driver.conn, now, &attrs);
                 }
                 ConnEvent::LowerThreshold(_) if self.cutoff > 0.0 => {
                     self.cutoff = (self.cutoff - self.cutoff_step).max(0.0);
@@ -178,7 +178,7 @@ impl FtpSenderAgent {
                         if self.cutoff > 0.0 { 0.1 } else { 0.0 },
                     );
                     self.coordinator
-                        .report_adaptation(&mut self.driver.conn, &attrs);
+                        .report_adaptation(&mut self.driver.conn, now, &attrs);
                 }
                 _ => {}
             }

@@ -46,13 +46,7 @@ impl FlowMetrics {
             .push((now_ns.saturating_sub(sent_at_ns)) as f64 / 1e9);
 
         if let Some(prev) = self.prev_arrival_ns {
-            let gap_s = (now_ns - prev) as f64 / 1e9;
-            self.inter_arrival.push(gap_s);
-            // Jitter sample: absolute deviation of this gap from the mean
-            // gap so far, in milliseconds; mirrors the per-packet jitter
-            // plots of Figures 2 and 3.
-            let dev_ms = (gap_s - self.inter_arrival.mean()).abs() * 1e3;
-            self.jitter_series.record(now_ns, dev_ms);
+            self.record_gap(now_ns, prev);
         }
         self.prev_arrival_ns = Some(now_ns);
 
@@ -63,6 +57,22 @@ impl FlowMetrics {
             }
             self.prev_tagged_ns = Some(now_ns);
         }
+    }
+
+    /// Feeds one inter-arrival gap to both consumers from a single
+    /// computation: the Welford accumulator behind the tables'
+    /// delay/jitter columns and the per-message series behind
+    /// Figures 2/3. Keeping them in one place guarantees they can never
+    /// disagree on count or value — a same-nanosecond arrival (gap 0)
+    /// lands in both, once.
+    fn record_gap(&mut self, now_ns: u64, prev_ns: u64) {
+        let gap_s = (now_ns.saturating_sub(prev_ns)) as f64 / 1e9;
+        self.inter_arrival.push(gap_s);
+        // Jitter sample: absolute deviation of this gap from the mean
+        // gap so far (including this gap), in milliseconds; mirrors the
+        // per-packet jitter plots of Figures 2 and 3.
+        let dev_ms = (gap_s - self.inter_arrival.mean()).abs() * 1e3;
+        self.jitter_series.record(now_ns, dev_ms);
     }
 
     /// Seconds from first to last arrival.
@@ -190,6 +200,28 @@ mod tests {
             .values()
             .fold(f64::NEG_INFINITY, f64::max);
         assert!(peak > 10.0, "the 40 ms gap should spike jitter, got {peak}");
+    }
+
+    #[test]
+    fn same_nanosecond_arrivals_keep_series_in_step() {
+        // A second message in the same nanosecond is a zero gap, not a
+        // skipped sample: the inter-arrival accumulator and the jitter
+        // series must both record it, keeping their counts equal.
+        let mut m = FlowMetrics::new();
+        m.on_message(10 * MS, 0, 100, false);
+        m.on_message(10 * MS, 0, 100, false); // same instant
+        m.on_message(20 * MS, 0, 100, false);
+        assert_eq!(m.messages(), 3);
+        assert_eq!(m.jitter_series().len(), 2);
+        // Gaps are 0 ms and 10 ms → mean 5 ms.
+        assert!((m.inter_arrival_s() - 0.005).abs() < 1e-12);
+        // The second jitter sample deviates from the updated mean:
+        // |10 ms − 5 ms| = 5 ms.
+        let last = m.jitter_series().points.last().unwrap();
+        assert_eq!(last.0, 20 * MS);
+        assert!((last.1 - 5.0).abs() < 1e-9);
+        // First sample: |0 − 0| = 0.
+        assert_eq!(m.jitter_series().points[0], (10 * MS, 0.0));
     }
 
     #[test]

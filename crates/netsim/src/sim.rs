@@ -133,7 +133,17 @@ impl SimCore {
             Some(link_id) => {
                 let link = &mut self.links[link_id.0 as usize];
                 let (id, flow, size) = (pkt.id, pkt.flow, pkt.size);
-                match link.enqueue(pkt, &mut self.rng) {
+                let outcome = link.enqueue(pkt, &mut self.rng);
+                let (queued_bytes, queue_len) = (link.queued_bytes(), link.queue_len());
+                self.trace.telemetry.emit_with(self.now, u64::from(flow.0), || {
+                    iq_telemetry::TelemetryEvent::QueueDepth {
+                        link: u64::from(link_id.0),
+                        queued_bytes: u64::from(queued_bytes),
+                        queue_len: queue_len as u64,
+                        dropped: matches!(outcome, Enqueue::Dropped),
+                    }
+                });
+                match outcome {
                     Enqueue::StartTx => self.start_next_tx(link_id),
                     Enqueue::Queued => {}
                     Enqueue::Dropped => self.trace.record(PacketEvent {
@@ -319,6 +329,13 @@ impl Simulator {
     /// The recorded packet events (empty unless enabled).
     pub fn packet_log(&self) -> &[crate::trace::PacketEvent] {
         self.core.trace.log()
+    }
+
+    /// Attaches a telemetry sink: packet lifecycle events and queue
+    /// depth snapshots are mirrored onto the bus from here on. A
+    /// disabled sink detaches.
+    pub fn attach_telemetry(&mut self, sink: iq_telemetry::TelemetrySink) {
+        self.core.trace.telemetry = sink;
     }
 
     /// Immutable access to a concrete agent type (post-run inspection).

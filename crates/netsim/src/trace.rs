@@ -8,6 +8,8 @@
 
 use std::collections::HashMap;
 
+use iq_telemetry::{PacketKind, TelemetryEvent, TelemetrySink};
+
 use crate::packet::{FlowId, LinkId};
 use crate::time::Time;
 
@@ -74,6 +76,9 @@ pub struct TraceCollector {
     log_capacity: usize,
     /// Events that arrived after the log filled.
     pub log_overflow: u64,
+    /// Structured telemetry bus; packet events are mirrored onto it
+    /// when a sink is attached (the bus-based successor of the log).
+    pub(crate) telemetry: TelemetrySink,
 }
 
 impl TraceCollector {
@@ -105,6 +110,20 @@ impl TraceCollector {
                 self.log_overflow += 1;
             }
         }
+        self.telemetry.emit_with(ev.at, u64::from(ev.flow.0), || {
+            let (kind, link) = match ev.kind {
+                PacketEventKind::Sent => (PacketKind::Sent, -1),
+                PacketEventKind::Delivered => (PacketKind::Delivered, -1),
+                PacketEventKind::DroppedAtQueue(l) => (PacketKind::DroppedQueue, i64::from(l.0)),
+                PacketEventKind::LostRandom(l) => (PacketKind::LostRandom, i64::from(l.0)),
+            };
+            TelemetryEvent::Packet {
+                packet_id: ev.packet_id,
+                size: ev.size,
+                kind,
+                link,
+            }
+        });
     }
 
     /// Counters for one flow (zeroes if never seen).

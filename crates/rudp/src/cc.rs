@@ -91,10 +91,12 @@ impl LdaWindow {
         self.cwnd = self.cwnd.clamp(self.cfg.min_cwnd, self.cfg.max_cwnd);
     }
 
-    /// Ends a measuring period with the observed `loss_ratio`.
-    pub fn on_period(&mut self, loss_ratio: f64) {
+    /// Ends a measuring period with the observed `loss_ratio`. Returns
+    /// the resulting window so callers can report the change without
+    /// re-querying.
+    pub fn on_period(&mut self, loss_ratio: f64) -> f64 {
         if !self.cfg.enabled {
-            return;
+            return self.cwnd;
         }
         if loss_ratio <= 0.0 {
             self.cwnd += self.cfg.incr_per_period;
@@ -103,25 +105,30 @@ impl LdaWindow {
             self.cwnd *= factor;
         }
         self.clamp();
+        self.cwnd
     }
 
-    /// Reacts to a retransmission timeout: immediate halving.
-    pub fn on_timeout(&mut self) {
+    /// Reacts to a retransmission timeout: immediate halving. Returns
+    /// the resulting window.
+    pub fn on_timeout(&mut self) -> f64 {
         if !self.cfg.enabled {
-            return;
+            return self.cwnd;
         }
         self.cwnd *= 0.5;
         self.clamp();
+        self.cwnd
     }
 
     /// Coordination re-adjustment: multiplies the window by `factor`
     /// (clamped). Used by IQ-RUDP when the application reports an
-    /// adaptation that changes its traffic pattern.
-    pub fn scale(&mut self, factor: f64) {
+    /// adaptation that changes its traffic pattern. Returns the
+    /// resulting window.
+    pub fn scale(&mut self, factor: f64) -> f64 {
         if factor.is_finite() && factor > 0.0 {
             self.cwnd *= factor;
             self.clamp();
         }
+        self.cwnd
     }
 }
 

@@ -4,6 +4,7 @@
 
 use iq_metrics::FlowMetrics;
 use iq_netsim::{payload, Addr, Agent, Ctx, FlowId, Packet, Time, TimerId};
+use iq_telemetry::TelemetrySink;
 
 use crate::receiver::ReceiverConn;
 use crate::segment::{wire_size, RudpPacket};
@@ -11,8 +12,72 @@ use crate::sender::SenderConn;
 use crate::types::{ConnEvent, DeliveredMsg, RudpConfig};
 
 /// Timer token reserved for RUDP protocol ticks; embedding agents must
-/// route `on_timer` calls with this token to the driver.
+/// route `on_timer` calls with this token to the driver (or simply call
+/// [`SenderDriver::on_timer`], which owns the routing).
 pub const RUDP_TIMER_TOKEN: u64 = 0x5255_4450; // "RUDP"
+
+/// Builds both halves of one RUDP connection from a single
+/// configuration, keeping conn id, flow tag, and telemetry sink
+/// consistent between them.
+///
+/// Obtained from [`RudpConfig::builder`]. The builder is the one place
+/// that knows how a connection plugs into the simulator: it attaches the
+/// telemetry sink to both state machines (under the flow's id) and the
+/// drivers it yields own the [`RUDP_TIMER_TOKEN`] routing detail, so
+/// embedding agents never touch the constant.
+#[derive(Clone)]
+pub struct ConnBuilder {
+    cfg: RudpConfig,
+    conn_id: u32,
+    flow: FlowId,
+    telemetry: TelemetrySink,
+}
+
+impl ConnBuilder {
+    /// Creates a builder for connection `conn_id`, tagging packets and
+    /// telemetry with `flow`.
+    pub fn new(cfg: RudpConfig, conn_id: u32, flow: FlowId) -> Self {
+        Self {
+            cfg,
+            conn_id,
+            flow,
+            telemetry: TelemetrySink::disabled(),
+        }
+    }
+
+    /// Attaches a telemetry sink to every connection built afterwards.
+    pub fn telemetry(mut self, sink: TelemetrySink) -> Self {
+        self.telemetry = sink;
+        self
+    }
+
+    /// Builds the sending half, driving segments toward `peer`.
+    pub fn build_sender(&self, peer: Addr) -> SenderDriver {
+        let mut conn = SenderConn::new(self.conn_id, self.cfg.clone());
+        conn.set_telemetry(self.telemetry.clone(), u64::from(self.flow.0));
+        SenderDriver::new(conn, peer, self.flow)
+    }
+
+    /// Builds the receiving half.
+    pub fn build_receiver(&self) -> ReceiverDriver {
+        let mut conn = ReceiverConn::new(self.conn_id, self.cfg.clone());
+        conn.set_telemetry(self.telemetry.clone(), u64::from(self.flow.0));
+        ReceiverDriver::new(conn, self.flow)
+    }
+
+    /// Builds both drivers at once (sender first).
+    pub fn build(&self, peer: Addr) -> (SenderDriver, ReceiverDriver) {
+        (self.build_sender(peer), self.build_receiver())
+    }
+}
+
+impl RudpConfig {
+    /// Starts a [`ConnBuilder`] yielding matched sender/receiver drivers
+    /// for connection `conn_id` on `flow`.
+    pub fn builder(&self, conn_id: u32, flow: FlowId) -> ConnBuilder {
+        ConnBuilder::new(self.clone(), conn_id, flow)
+    }
+}
 
 /// Embeds a [`SenderConn`] into an agent: transmission pumping, timer
 /// management, and packet demultiplexing.
@@ -61,6 +126,18 @@ impl SenderDriver {
             }
         }
         self.conn.on_tick(ctx.now());
+    }
+
+    /// Routes a timer callback by token: consumes the tick (and returns
+    /// `true`) iff `token` is the RUDP protocol token, so embedding
+    /// agents need not know [`RUDP_TIMER_TOKEN`]. Call [`Self::pump`]
+    /// afterwards when this returns `true`.
+    pub fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) -> bool {
+        if token != RUDP_TIMER_TOKEN {
+            return false;
+        }
+        self.handle_timer(ctx);
+        true
     }
 
     /// Transmits everything ready and re-arms the protocol timer. Must
@@ -172,8 +249,13 @@ impl BulkSenderAgent {
     /// Creates a bulk sender that will transfer `total_msgs` messages of
     /// `msg_size` bytes each over `conn`.
     pub fn new(conn: SenderConn, peer: Addr, flow: FlowId, total_msgs: u64, msg_size: u32) -> Self {
+        Self::from_driver(SenderDriver::new(conn, peer, flow), total_msgs, msg_size)
+    }
+
+    /// Wraps an already-built driver (see [`ConnBuilder::build_sender`]).
+    pub fn from_driver(driver: SenderDriver, total_msgs: u64, msg_size: u32) -> Self {
         Self {
-            driver: SenderDriver::new(conn, peer, flow),
+            driver,
             remaining_msgs: total_msgs,
             msg_size,
             backlog_target: 128,
@@ -243,8 +325,14 @@ pub struct RudpSinkAgent {
 impl RudpSinkAgent {
     /// Creates a sink for connection `conn_id`.
     pub fn new(conn_id: u32, cfg: RudpConfig, flow: FlowId) -> Self {
+        Self::from_driver(ReceiverDriver::new(ReceiverConn::new(conn_id, cfg), flow))
+    }
+
+    /// Wraps an already-built driver (see
+    /// [`ConnBuilder::build_receiver`]).
+    pub fn from_driver(driver: ReceiverDriver) -> Self {
         Self {
-            driver: ReceiverDriver::new(ReceiverConn::new(conn_id, cfg), flow),
+            driver,
             metrics: FlowMetrics::new(),
             messages: Vec::new(),
             keep_messages: false,
@@ -352,6 +440,43 @@ mod tests {
         let sender = sim.agent::<BulkSenderAgent>(tx).unwrap();
         assert!(sender.conn().stats().retransmits > 0, "expected retransmits");
         assert_eq!(sender.conn().stats().segments_abandoned, 0);
+    }
+
+    /// The builder yields matched drivers with telemetry attached to
+    /// both ends, and a transfer over them leaves a coherent event
+    /// stream on the bus.
+    #[test]
+    fn conn_builder_wires_telemetry_through_both_drivers() {
+        use iq_telemetry::TelemetryReport;
+
+        let mut sim = Simulator::new(3);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(10e6, time::millis(5), 64_000));
+        let (sink, bus) = TelemetrySink::new_bus(0);
+        let builder = RudpConfig::default()
+            .builder(7, FlowId(1))
+            .telemetry(sink);
+        let (tx_driver, rx_driver) = builder.build(Addr::new(b, 1));
+        assert!(tx_driver.conn.telemetry().is_enabled());
+        assert_eq!(tx_driver.conn.telemetry_flow(), 1);
+        assert_eq!(rx_driver.conn.telemetry_flow(), 1);
+
+        // Run a real transfer over the built drivers.
+        let sender = BulkSenderAgent::from_driver(tx_driver, 50, 1400);
+        sim.add_agent(a, 1, Box::new(sender));
+        let rx = sim.add_agent(b, 1, Box::new(RudpSinkAgent::from_driver(rx_driver)));
+        sim.run_until(time::secs(30.0));
+
+        let sink_agent = sim.agent::<RudpSinkAgent>(rx).unwrap();
+        assert!(sink_agent.is_finished());
+        let records = bus.lock().unwrap().records();
+        let report = TelemetryReport::from_records(&records);
+        assert_eq!(report.msgs_delivered, 50);
+        assert!(report.count("period_sample") > 0, "no period samples");
+        assert!(records.iter().all(|r| r.flow == 1));
+        // Sequence numbers are strictly increasing (emission order).
+        assert!(records.windows(2).all(|w| w[0].seq < w[1].seq));
     }
 
     /// Throughput of a long transfer approaches the link rate.

@@ -32,7 +32,7 @@ pub mod types;
 
 pub use cc::{CcConfig, LdaWindow};
 pub use endpoint::{
-    BulkSenderAgent, ReceiverDriver, RudpSinkAgent, SenderDriver, RUDP_TIMER_TOKEN,
+    BulkSenderAgent, ConnBuilder, ReceiverDriver, RudpSinkAgent, SenderDriver, RUDP_TIMER_TOKEN,
 };
 pub use meter::{NetCond, PeriodMeter};
 pub use receiver::ReceiverConn;

@@ -5,6 +5,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use iq_netsim::Time;
+use iq_telemetry::{TelemetryEvent, TelemetrySink};
 
 use crate::segment::{AckSeg, DataSeg, Segment};
 use crate::types::{ConnEvent, DeliveredMsg, ReceiverStats, RudpConfig};
@@ -52,6 +53,8 @@ pub struct ReceiverConn {
     /// In-order segments since the last ACK (decimation counter).
     unacked_in_order: u32,
     stats: ReceiverStats,
+    telemetry: TelemetrySink,
+    telemetry_flow: u64,
 }
 
 impl ReceiverConn {
@@ -75,7 +78,26 @@ impl ReceiverConn {
             finished: false,
             unacked_in_order: 0,
             stats: ReceiverStats::default(),
+            telemetry: TelemetrySink::disabled(),
+            telemetry_flow: 0,
         }
+    }
+
+    /// Attaches a telemetry sink; subsequent events are emitted under
+    /// `flow`.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink, flow: u64) {
+        self.telemetry = sink;
+        self.telemetry_flow = flow;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Flow id telemetry is emitted under.
+    pub fn telemetry_flow(&self) -> u64 {
+        self.telemetry_flow
     }
 
     /// Connection identifier.
@@ -237,6 +259,8 @@ impl ReceiverConn {
             } else {
                 // A hole the sender told us to skip.
                 self.stats.segments_skipped += 1;
+                self.telemetry
+                    .emit(now, self.telemetry_flow, TelemetryEvent::GapSkipped { seq });
                 self.poison();
                 self.next_required += 1;
             }
@@ -300,6 +324,14 @@ impl ReceiverConn {
         if asm.next_frag == asm.frag_count {
             let asm = self.assembly.take().expect("just borrowed");
             self.stats.msgs_delivered += 1;
+            self.telemetry.emit_with(now, self.telemetry_flow, || {
+                TelemetryEvent::MsgDelivered {
+                    msg_id: asm.msg_id,
+                    size: asm.bytes,
+                    marked: asm.marked,
+                    latency_ns: now.saturating_sub(asm.msg_sent_at),
+                }
+            });
             self.delivered.push_back(DeliveredMsg {
                 msg_id: asm.msg_id,
                 size: asm.bytes,

@@ -82,6 +82,11 @@ impl RttEstimator {
     pub fn on_timeout(&mut self) {
         self.backoff = (self.backoff + 1).min(6);
     }
+
+    /// Current Karn backoff level (0 when no timeout is outstanding).
+    pub fn backoff(&self) -> u32 {
+        self.backoff
+    }
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 use std::collections::{BTreeMap, VecDeque};
 
 use iq_netsim::Time;
+use iq_telemetry::{CwndReason, TelemetryEvent, TelemetrySink};
 
 use crate::cc::LdaWindow;
 use crate::meter::{NetCond, PeriodMeter};
@@ -95,6 +96,8 @@ pub struct SenderConn {
     abandoned_total: u64,
     thresh_zone: ThreshZone,
     stats: SenderStats,
+    telemetry: TelemetrySink,
+    telemetry_flow: u64,
 }
 
 impl SenderConn {
@@ -127,7 +130,26 @@ impl SenderConn {
             abandoned_total: 0,
             thresh_zone: ThreshZone::Mid,
             stats: SenderStats::default(),
+            telemetry: TelemetrySink::disabled(),
+            telemetry_flow: 0,
         }
+    }
+
+    /// Attaches a telemetry sink; subsequent events are emitted under
+    /// `flow`.
+    pub fn set_telemetry(&mut self, sink: TelemetrySink, flow: u64) {
+        self.telemetry = sink;
+        self.telemetry_flow = flow;
+    }
+
+    /// The attached telemetry sink (disabled by default).
+    pub fn telemetry(&self) -> &TelemetrySink {
+        &self.telemetry
+    }
+
+    /// Flow id telemetry is emitted under.
+    pub fn telemetry_flow(&self) -> u64 {
+        self.telemetry_flow
     }
 
     /// Connection identifier.
@@ -159,9 +181,10 @@ impl SenderConn {
     }
 
     /// Applies a coordination re-adjustment to the window (IQ-RUDP's
-    /// reaction to a reported application adaptation).
-    pub fn scale_cwnd(&mut self, factor: f64) {
-        self.window.scale(factor);
+    /// reaction to a reported application adaptation). Returns the
+    /// resulting window.
+    pub fn scale_cwnd(&mut self, factor: f64) -> f64 {
+        self.window.scale(factor)
     }
 
     /// Toggles discard-unmarked coordination.
@@ -205,6 +228,8 @@ impl SenderConn {
         assert!(size > 0, "empty messages are not allowed");
         if self.discard_unmarked && !marked {
             self.stats.msgs_discarded += 1;
+            self.telemetry
+                .emit(now, self.telemetry_flow, TelemetryEvent::Unmarked { size });
             return SendOutcome::Discarded;
         }
         let msg_id = self.next_msg_id;
@@ -258,7 +283,7 @@ impl SenderConn {
     }
 
     /// Handles a segment declared lost: retransmit or abandon.
-    fn on_segment_lost(&mut self, seq: u64) {
+    fn on_segment_lost(&mut self, now: Time, seq: u64) {
         let Some(entry) = self.inflight.get(&seq) else {
             return;
         };
@@ -276,6 +301,11 @@ impl SenderConn {
             self.abandoned_total += 1;
             self.stats.segments_abandoned += 1;
             self.fwd_dirty = true;
+            self.telemetry.emit(
+                now,
+                self.telemetry_flow,
+                TelemetryEvent::SegmentDropped { seq, marked },
+            );
         }
     }
 
@@ -347,7 +377,7 @@ impl SenderConn {
             }
         }
         for seq in newly_lost {
-            self.on_segment_lost(seq);
+            self.on_segment_lost(now, seq);
         }
     }
 
@@ -374,19 +404,52 @@ impl SenderConn {
                 {
                     if now >= entry.tx_at + self.rtt.rto() {
                         self.stats.timeouts += 1;
+                        let rto_ns = self.rtt.rto();
                         self.rtt.on_timeout();
-                        self.window.on_timeout();
-                        self.on_segment_lost(seq);
+                        let cwnd = self.window.on_timeout();
+                        self.telemetry.emit_with(now, self.telemetry_flow, || {
+                            TelemetryEvent::RtoFired {
+                                seq,
+                                rto_ns,
+                                backoff: self.rtt.backoff(),
+                            }
+                        });
+                        self.telemetry.emit(
+                            now,
+                            self.telemetry_flow,
+                            TelemetryEvent::CwndUpdate {
+                                cwnd,
+                                reason: CwndReason::Timeout,
+                            },
+                        );
+                        self.on_segment_lost(now, seq);
                     }
                 }
                 // Measuring period.
                 let srtt_ms = self.rtt.srtt_ms();
                 let cwnd = self.window.cwnd();
                 if let Some(cond) = self.meter.maybe_roll(now, srtt_ms, cwnd) {
-                    self.window.on_period(cond.eratio);
+                    let new_cwnd = self.window.on_period(cond.eratio);
                     let mut cond = cond;
-                    cond.cwnd = self.window.cwnd();
+                    cond.cwnd = new_cwnd;
                     self.events.push(ConnEvent::PeriodEnded(cond));
+                    self.telemetry.emit_with(now, self.telemetry_flow, || {
+                        TelemetryEvent::PeriodSample {
+                            eratio: cond.eratio,
+                            eratio_smoothed: cond.eratio_smoothed,
+                            srtt_ms: cond.srtt_ms,
+                            cwnd: new_cwnd,
+                            rate_kbps: cond.rate_kbps,
+                        }
+                    });
+                    self.telemetry.emit(
+                        now,
+                        self.telemetry_flow,
+                        TelemetryEvent::CwndUpdate {
+                            cwnd: new_cwnd,
+                            reason: CwndReason::Period,
+                        },
+                    );
                     // Threshold callbacks are level-triggered per
                     // measuring period: the application reduces "by a
                     // degree proportional to the loss ratio" while above
@@ -403,9 +466,25 @@ impl SenderConn {
                     };
                     if zone == ThreshZone::High {
                         self.events.push(ConnEvent::UpperThreshold(cond));
+                        self.telemetry.emit(
+                            now,
+                            self.telemetry_flow,
+                            TelemetryEvent::Threshold {
+                                upper: true,
+                                eratio: cond.eratio,
+                            },
+                        );
                     }
                     if zone == ThreshZone::Low && self.cfg.lower_threshold.is_some() {
                         self.events.push(ConnEvent::LowerThreshold(cond));
+                        self.telemetry.emit(
+                            now,
+                            self.telemetry_flow,
+                            TelemetryEvent::Threshold {
+                                upper: false,
+                                eratio: cond.eratio,
+                            },
+                        );
                     }
                     self.thresh_zone = zone;
                 }

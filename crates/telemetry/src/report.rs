@@ -1,0 +1,209 @@
+//! Summaries derived from a telemetry stream.
+
+use std::collections::BTreeMap;
+
+use crate::event::{TelemetryEvent, TelemetryRecord};
+
+/// Aggregate view of one telemetry stream.
+///
+/// Everything here is derived purely from the records, so a report built
+/// from a parsed JSONL file equals one built from the live bus.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetryReport {
+    /// Record count per event type, keyed by wire label.
+    pub counts: BTreeMap<&'static str, u64>,
+    /// Sim-time of the first record, nanoseconds.
+    pub first_at: Option<u64>,
+    /// Sim-time of the last record, nanoseconds.
+    pub last_at: Option<u64>,
+    /// Smallest congestion window observed in `cwnd_update` records.
+    pub min_cwnd: Option<f64>,
+    /// Largest congestion window observed in `cwnd_update` records.
+    pub max_cwnd: Option<f64>,
+    /// Number of retransmission timeouts.
+    pub rto_count: u64,
+    /// Number of coordination window re-inflations.
+    pub reinflations: u64,
+    /// Cumulative product of re-inflation factors.
+    pub reinflation_factor: f64,
+    /// Segments abandoned under loss tolerance.
+    pub segments_dropped: u64,
+    /// Unmarked messages discarded before the network (§3.3).
+    pub unmarked_discards: u64,
+    /// Messages delivered to the application.
+    pub msgs_delivered: u64,
+    /// Mean delivery latency over `msg_delivered` records, milliseconds.
+    pub mean_delivery_ms: f64,
+}
+
+impl TelemetryReport {
+    /// Builds a report from records (any order; `at` extremes are taken
+    /// over all records).
+    pub fn from_records(records: &[TelemetryRecord]) -> Self {
+        let mut rep = TelemetryReport {
+            reinflation_factor: 1.0,
+            ..TelemetryReport::default()
+        };
+        let mut latency_sum_ns = 0u64;
+        for r in records {
+            *rep.counts.entry(r.event.kind()).or_insert(0) += 1;
+            rep.first_at = Some(rep.first_at.map_or(r.at, |f| f.min(r.at)));
+            rep.last_at = Some(rep.last_at.map_or(r.at, |l| l.max(r.at)));
+            match &r.event {
+                TelemetryEvent::CwndUpdate { cwnd, .. } => {
+                    rep.min_cwnd = Some(rep.min_cwnd.map_or(*cwnd, |m| m.min(*cwnd)));
+                    rep.max_cwnd = Some(rep.max_cwnd.map_or(*cwnd, |m| m.max(*cwnd)));
+                }
+                TelemetryEvent::RtoFired { .. } => rep.rto_count += 1,
+                TelemetryEvent::WindowReinflate { factor, .. } => {
+                    rep.reinflations += 1;
+                    rep.reinflation_factor *= *factor;
+                }
+                TelemetryEvent::SegmentDropped { .. } => rep.segments_dropped += 1,
+                TelemetryEvent::Unmarked { .. } => rep.unmarked_discards += 1,
+                TelemetryEvent::MsgDelivered { latency_ns, .. } => {
+                    rep.msgs_delivered += 1;
+                    latency_sum_ns += *latency_ns;
+                }
+                _ => {}
+            }
+        }
+        if rep.msgs_delivered > 0 {
+            rep.mean_delivery_ms =
+                latency_sum_ns as f64 / rep.msgs_delivered as f64 / 1e6;
+        }
+        rep
+    }
+
+    /// Count for one event type by wire label (0 when absent).
+    pub fn count(&self, kind: &str) -> u64 {
+        self.counts.get(kind).copied().unwrap_or(0)
+    }
+}
+
+/// Rebuilds a flow's jitter time-series from its `msg_delivered` events.
+///
+/// This mirrors `FlowMetrics::on_message` exactly — for each delivery
+/// after the first, the inter-arrival gap feeds a running (Welford) mean
+/// and the point recorded at the delivery time is the absolute deviation
+/// of that gap from the *updated* mean, in milliseconds. Records must be
+/// in emission order (as [`crate::bus::TelemetryBus::records`] and
+/// [`crate::json::parse_jsonl`] on an exported stream both yield), so
+/// the series is bit-identical to the one the metrics crate collects
+/// during the run.
+pub fn jitter_series_ms(records: &[TelemetryRecord], flow: u64) -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    let mut prev_at: Option<u64> = None;
+    let mut count: u64 = 0;
+    let mut mean: f64 = 0.0;
+    for r in records {
+        if r.flow != flow {
+            continue;
+        }
+        if let TelemetryEvent::MsgDelivered { .. } = r.event {
+            if let Some(prev) = prev_at {
+                let gap_s = (r.at - prev) as f64 / 1e9;
+                count += 1;
+                let delta = gap_s - mean;
+                mean += delta / count as f64;
+                out.push((r.at, (gap_s - mean).abs() * 1e3));
+            }
+            prev_at = Some(r.at);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::CwndReason;
+
+    fn delivered(at: u64, flow: u64, seq: u64) -> TelemetryRecord {
+        TelemetryRecord {
+            at,
+            seq,
+            flow,
+            event: TelemetryEvent::MsgDelivered {
+                msg_id: seq,
+                size: 1000,
+                marked: false,
+                latency_ns: 2_000_000,
+            },
+        }
+    }
+
+    #[test]
+    fn report_aggregates_counts_and_extremes() {
+        let records = vec![
+            TelemetryRecord {
+                at: 10,
+                seq: 0,
+                flow: 1,
+                event: TelemetryEvent::CwndUpdate {
+                    cwnd: 4.0,
+                    reason: CwndReason::Period,
+                },
+            },
+            TelemetryRecord {
+                at: 20,
+                seq: 1,
+                flow: 1,
+                event: TelemetryEvent::CwndUpdate {
+                    cwnd: 2.0,
+                    reason: CwndReason::Timeout,
+                },
+            },
+            TelemetryRecord {
+                at: 30,
+                seq: 2,
+                flow: 1,
+                event: TelemetryEvent::WindowReinflate {
+                    rate_chg: 0.2,
+                    factor: 1.25,
+                    cwnd: 2.5,
+                    srtt_ms: 30.0,
+                },
+            },
+            delivered(40, 1, 3),
+        ];
+        let rep = TelemetryReport::from_records(&records);
+        assert_eq!(rep.count("cwnd_update"), 2);
+        assert_eq!(rep.count("window_reinflate"), 1);
+        assert_eq!(rep.count("absent_kind"), 0);
+        assert_eq!(rep.first_at, Some(10));
+        assert_eq!(rep.last_at, Some(40));
+        assert_eq!(rep.min_cwnd, Some(2.0));
+        assert_eq!(rep.max_cwnd, Some(4.0));
+        assert_eq!(rep.reinflations, 1);
+        assert!((rep.reinflation_factor - 1.25).abs() < 1e-12);
+        assert_eq!(rep.msgs_delivered, 1);
+        assert!((rep.mean_delivery_ms - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stream_yields_empty_report() {
+        let rep = TelemetryReport::from_records(&[]);
+        assert_eq!(rep.first_at, None);
+        assert_eq!(rep.msgs_delivered, 0);
+        assert_eq!(rep.mean_delivery_ms, 0.0);
+    }
+
+    #[test]
+    fn jitter_series_mirrors_welford_deviation() {
+        // Gaps: 1s, 3s. Welford means after each push: 1.0, 2.0.
+        // Deviations: |1-1| = 0 ms, |3-2| = 1000 ms.
+        let records = vec![
+            delivered(0, 1, 0),
+            delivered(1_000_000_000, 1, 1),
+            delivered(4_000_000_000, 1, 2),
+            // Other flows and event types are ignored.
+            delivered(4_500_000_000, 2, 3),
+        ];
+        let series = jitter_series_ms(&records, 1);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], (1_000_000_000, 0.0));
+        assert_eq!(series[1].0, 4_000_000_000);
+        assert!((series[1].1 - 1000.0).abs() < 1e-9);
+    }
+}

@@ -16,6 +16,10 @@
 //!   seed and abort if any metric differs bit-for-bit.
 //! * `--no-timing` — suppress the per-scenario wall-clock / events-per-
 //!   second report on stderr.
+//! * `--telemetry DIR` — capture the structured telemetry bus for every
+//!   scenario and write one JSONL stream per scenario into `DIR`. The
+//!   dumps are byte-identical for any `-j`, and rendered tables do not
+//!   change.
 
 use iq_experiments::ablations::run_all_ablations;
 use iq_experiments::figures::{figure1, figure4_from_rows, figures_2_3, render_figure4};
@@ -167,8 +171,8 @@ fn cmd_demo() {
 }
 
 /// Strips the runner flags (`-j`/`--jobs`, `--verify-determinism`,
-/// `--no-timing`) out of the argument list, applying them globally, and
-/// returns the remaining positional arguments.
+/// `--no-timing`, `--telemetry DIR`) out of the argument list, applying
+/// them globally, and returns the remaining positional arguments.
 fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut timing = true;
@@ -196,6 +200,22 @@ fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
                 }
             }
             "--verify-determinism" => iq_experiments::set_verify_determinism(true),
+            "--telemetry" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --telemetry requires a directory argument");
+                    std::process::exit(2);
+                });
+                iq_experiments::set_telemetry_dir(Some(dir));
+            }
+            _ if a.starts_with("--telemetry=") => {
+                match a.split_once('=').map(|(_, v)| v.to_string()) {
+                    Some(dir) if !dir.is_empty() => iq_experiments::set_telemetry_dir(Some(dir)),
+                    _ => {
+                        eprintln!("error: --telemetry= requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--no-timing" => timing = false,
             _ => rest.push(a),
         }
@@ -218,6 +238,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: iqrudp [-j N] [--verify-determinism] [--no-timing] \
+                 [--telemetry DIR] \
                  <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
                  trace [FRAMES] [SEED] | demo>"
             );

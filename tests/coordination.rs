@@ -85,6 +85,53 @@ fn granularity_cond_correction_orders_schemes() {
     );
 }
 
+/// §3.4 on the telemetry bus: every `window_reinflate` record follows
+/// the down-sample that caused it within one smoothed RTT — the
+/// coordination is synchronous with the application's report, not a
+/// delayed side effect.
+#[test]
+fn reinflation_follows_downsample_within_one_rtt_on_the_bus() {
+    use iq_telemetry::{parse_jsonl, TelemetryEvent};
+    iq_experiments::set_telemetry_capture(true);
+    let mut sc = Scenario::new(
+        Scheme::Coordinated,
+        PolicySpec::Resolution,
+        vec![1400; 400],
+    );
+    sc.datagram_mode = true;
+    sc.thresholds = (Some(0.05), Some(0.005));
+    sc.cross.cbr_bps = Some(18e6);
+    sc.deadline_s = 180.0;
+    let r = run_scenario(&sc);
+    iq_experiments::set_telemetry_capture(false);
+    assert!(r.finished);
+    assert!(r.coordination.unwrap().window_rescales > 0, "no coordination happened");
+
+    let records = parse_jsonl(&r.telemetry).expect("captured telemetry parses");
+    let mut last_downsample: Option<u64> = None;
+    let mut reinflations = 0u64;
+    for rec in records.iter().filter(|rec| rec.flow == 1) {
+        match &rec.event {
+            TelemetryEvent::AdaptPktSize { .. } => last_downsample = Some(rec.at),
+            TelemetryEvent::WindowReinflate { srtt_ms, factor, .. } => {
+                let t = last_downsample
+                    .expect("window re-inflation without a preceding down-sample report");
+                let rtt_ns = (srtt_ms * 1e6) as u64;
+                assert!(
+                    rec.at.saturating_sub(t) <= rtt_ns,
+                    "re-inflation at {} lags its down-sample at {t} by more than \
+                     one RTT ({rtt_ns} ns)",
+                    rec.at
+                );
+                assert!(*factor > 1.0, "re-inflation factor must exceed 1");
+                reinflations += 1;
+            }
+            _ => {}
+        }
+    }
+    assert!(reinflations > 0, "bus carried no window_reinflate records");
+}
+
 /// The cc-disabled scheme ("app adaptation only") really runs with a
 /// pinned window.
 #[test]
