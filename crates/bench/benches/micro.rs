@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use iq_attrs::{names, AttrList, AttrService};
-use iq_netsim::{time, Addr, FlowId, LinkSpec, Simulator};
+use iq_netsim::{time, Addr, Agent, Ctx, EventQueue, FlowId, LinkSpec, Packet, Simulator};
 use iq_rudp::{BulkSenderAgent, RudpConfig, RudpSinkAgent, SenderConn};
 use iq_trace::{MembershipConfig, MembershipTrace};
 
@@ -33,8 +33,131 @@ fn transfer(msgs: u64) -> u64 {
     sim.agent::<RudpSinkAgent>(rx).unwrap().metrics.messages()
 }
 
+/// Timer-churning agent: each firing re-arms two timers and cancels one,
+/// the set/cancel/fire pattern of RTO management.
+struct TimerChurn {
+    remaining: u32,
+}
+
+impl Agent for TimerChurn {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(time::micros(10), 0);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.remaining == 0 {
+            ctx.stop_simulation();
+            return;
+        }
+        self.remaining -= 1;
+        let keep = ctx.set_timer(time::micros(10), 0);
+        let cancel = ctx.set_timer(time::millis(5), 1);
+        ctx.cancel_timer(cancel);
+        black_box(keep);
+    }
+}
+
+/// Fixed-rate source driving packets down a multi-hop chain, so each
+/// packet exercises per-hop routing, enqueue, and serialization.
+struct ChainSource {
+    dst: Addr,
+    remaining: u32,
+}
+
+impl Agent for ChainSource {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(time::micros(50), 0);
+    }
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.remaining == 0 {
+            return;
+        }
+        self.remaining -= 1;
+        ctx.send(self.dst, 1000, FlowId(1), iq_netsim::payload(()));
+        ctx.set_timer(time::micros(50), 0);
+    }
+}
+
+/// Packet sink for the chain scenario.
+#[derive(Default)]
+struct ChainSink(u32);
+
+impl Agent for ChainSink {
+    fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {
+        self.0 += 1;
+    }
+}
+
 fn bench_micro(c: &mut Criterion) {
     let mut g = c.benchmark_group("micro");
+
+    // Raw scheduler throughput: a sliding window of pending events, each
+    // pop schedules a successor (the steady-state shape of a simulation).
+    g.bench_function("event_queue_push_pop_100k", |b| {
+        b.iter(|| {
+            use iq_netsim::event::{Event, EventKind};
+            use iq_netsim::AgentId;
+            let mut q = EventQueue::new();
+            let mut seq = 0u64;
+            // Pending set spanning level 0 through level 2.
+            for i in 0..256u64 {
+                q.push(Event {
+                    at: i * 37_003, // ≈ tens of µs apart
+                    seq,
+                    kind: EventKind::Start { agent: AgentId(0) },
+                });
+                seq += 1;
+            }
+            for _ in 0..100_000u32 {
+                let ev = q.pop().expect("window never drains");
+                q.push(Event {
+                    at: ev.at + 947_011, // ≈ 1 ms ahead
+                    seq,
+                    kind: EventKind::Start { agent: AgentId(0) },
+                });
+                seq += 1;
+            }
+            black_box(q.len())
+        })
+    });
+
+    // Timer arm/cancel/fire through the full simulator dispatch path.
+    g.bench_function("timer_set_cancel_fire_20k", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(7);
+            let n = sim.add_node();
+            sim.add_agent(n, 1, Box::new(TimerChurn { remaining: 20_000 }));
+            sim.run_until(time::secs(10.0));
+            black_box(sim.counters().timers_fired)
+        })
+    });
+
+    // Per-hop routing cost: 2k packets each crossing 8 store-and-forward
+    // hops (enqueue, serialize, arrive, route).
+    g.bench_function("chain_routing_8hop_2k_pkts", |b| {
+        b.iter(|| {
+            let mut sim = Simulator::new(7);
+            let nodes: Vec<_> = (0..9).map(|_| sim.add_node()).collect();
+            for w in nodes.windows(2) {
+                sim.add_duplex_link(w[0], w[1], LinkSpec::new(1e9, time::micros(10), 1_000_000));
+            }
+            let last = *nodes.last().unwrap();
+            sim.add_agent(
+                nodes[0],
+                1,
+                Box::new(ChainSource {
+                    dst: Addr::new(last, 2),
+                    remaining: 2_000,
+                }),
+            );
+            let rx = sim.add_agent(last, 2, Box::new(ChainSink::default()));
+            sim.run_until(time::secs(2.0));
+            let got = sim.agent::<ChainSink>(rx).unwrap().0;
+            assert_eq!(got, 2_000);
+            black_box(got)
+        })
+    });
 
     g.bench_function("sim_transfer_1000_msgs", |b| {
         b.iter(|| {

@@ -1,0 +1,406 @@
+//! The end-to-end simulator benchmark behind `iqrudp bench`.
+//!
+//! Runs a fixed, deterministic scenario sweep chosen to exercise every
+//! hot path of `iq-netsim` (event scheduling, timer churn, per-hop
+//! routing, queueing, loss recovery) and writes the measurements to
+//! `BENCH_netsim.json` so the performance trajectory of the simulator is
+//! tracked in-repo from PR to PR.
+//!
+//! The JSON file holds two sections:
+//!
+//! * `baseline` — the floor laid down the first time the bench ran (the
+//!   pre-overhaul `BinaryHeap`-scheduler simulator). It is carried
+//!   forward verbatim on every subsequent run so before/after evidence
+//!   never disappears.
+//! * `current` — the most recent measurement.
+//!
+//! `--check FILE` compares a fresh run against the `current` section of
+//! a committed file and fails (non-zero exit) when aggregate events/sec
+//! regressed by more than `--max-regress` (default 20 %). CI uses this
+//! as a smoke gate.
+
+use std::time::Instant;
+
+use crate::runner::{run_specs, ScenarioSpec};
+use crate::scenario::{app_frame_sizes, PolicySpec, Scenario, Scheme, VbrSpec};
+use crate::tables::Size;
+
+/// Options for one bench invocation (a parsed `iqrudp bench` command
+/// line).
+#[derive(Debug, Clone)]
+pub struct BenchOptions {
+    /// Workload scale (1.0 = the committed reference scale).
+    pub size: Size,
+    /// Where the measurement JSON is written.
+    pub out_path: String,
+    /// When set, compare against the `current` section of this file.
+    pub check_path: Option<String>,
+    /// Allowed fractional events/sec regression before `--check` fails.
+    pub max_regress: f64,
+    /// Free-form label recorded with the measurement (e.g. which
+    /// scheduler implementation produced it).
+    pub label: String,
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self {
+            size: Size::FULL,
+            out_path: "BENCH_netsim.json".to_string(),
+            check_path: None,
+            max_regress: 0.20,
+            label: "netsim".to_string(),
+        }
+    }
+}
+
+/// One scenario's measurement.
+#[derive(Debug, Clone)]
+pub struct BenchScenario {
+    /// Scenario name (stable across runs).
+    pub name: String,
+    /// Simulator events processed.
+    pub events: u64,
+    /// Host wall-clock seconds.
+    pub wall_s: f64,
+    /// Events per second of host time.
+    pub events_per_sec: f64,
+}
+
+/// One full sweep measurement.
+#[derive(Debug, Clone)]
+pub struct BenchRun {
+    /// Label describing what was measured.
+    pub label: String,
+    /// Workload scale the sweep ran at.
+    pub size: f64,
+    /// Per-scenario measurements, in declaration order.
+    pub scenarios: Vec<BenchScenario>,
+    /// Total events across the sweep.
+    pub total_events: u64,
+    /// Total wall-clock seconds across the sweep (sum of per-scenario
+    /// simulation time; excludes process startup).
+    pub total_wall_s: f64,
+    /// Aggregate events/sec (total events / total wall).
+    pub total_events_per_sec: f64,
+    /// Peak resident set size of the process, bytes (0 when the
+    /// platform does not expose it).
+    pub peak_rss_bytes: u64,
+}
+
+/// The fixed sweep: one scenario per hot-path profile.
+///
+/// Names are stable identifiers — CI and the trajectory tooling key off
+/// them — so change them only with a deliberate baseline reset.
+pub fn bench_specs(size: Size) -> Vec<ScenarioSpec> {
+    let frames = |n: usize, seed: u64| app_frame_sizes(scaled(size, n), seed);
+    let mut specs = Vec::new();
+
+    // 1. Bulk RUDP transfer: data/ack event volume plus RTO timer churn.
+    let mut sc = Scenario::new(
+        Scheme::RudpPlain,
+        PolicySpec::None,
+        vec![1400u32; scaled(size, 60_000)],
+    );
+    sc.deadline_s = 900.0;
+    specs.push(ScenarioSpec::new("bulk_rudp", sc));
+
+    // 2. Coordinated adaptive flow against CBR cross traffic: the
+    //    paper's core workload — congestion, loss recovery, callbacks.
+    let mut sc = Scenario::new(
+        Scheme::Coordinated,
+        PolicySpec::Resolution,
+        frames(8000, 7),
+    );
+    sc.cross.cbr_bps = Some(18e6);
+    sc.thresholds = (Some(0.15), Some(0.01));
+    sc.deadline_s = 900.0;
+    specs.push(ScenarioSpec::new("coordinated_cbr", sc));
+
+    // 3. Rate-based datagram flow with marking against VBR cross
+    //    traffic: many small messages, abandonment, Fwd segments.
+    let mut sc = Scenario::new(
+        Scheme::CoordinatedWithCond,
+        PolicySpec::Marking,
+        frames(12_000, 11),
+    );
+    sc.fps = Some(100.0);
+    sc.datagram_mode = true;
+    sc.loss_tolerance = 0.40;
+    sc.thresholds = (Some(0.10), Some(0.02));
+    sc.cross.vbr = Some(VbrSpec {
+        fps: 500.0,
+        mean_bps: 10e6,
+        seed: 13,
+    });
+    sc.deadline_s = 600.0;
+    specs.push(ScenarioSpec::new("marking_vbr", sc));
+
+    // 4. TCP bulk against a competing TCP flow: the second transport's
+    //    state machine plus two full-speed flows through one queue.
+    let mut sc = Scenario::new(Scheme::Tcp, PolicySpec::None, vec![1400u32; scaled(size, 40_000)]);
+    sc.cross.tcp_bulk = true;
+    sc.deadline_s = 600.0;
+    specs.push(ScenarioSpec::new("tcp_fairness", sc));
+
+    // 5. Lossy-link recovery: random loss drives retransmission and
+    //    dup-ack machinery far harder than clean congestion does.
+    let mut sc = Scenario::new(
+        Scheme::RudpPlain,
+        PolicySpec::None,
+        vec![1400u32; scaled(size, 25_000)],
+    );
+    sc.dumbbell.pairs = 3;
+    sc.red_bottleneck = true;
+    sc.cross.cbr_bps = Some(14e6);
+    sc.deadline_s = 900.0;
+    specs.push(ScenarioSpec::new("red_lossy", sc));
+
+    specs
+}
+
+fn scaled(size: Size, full: usize) -> usize {
+    ((full as f64 * size.0) as usize).max(40)
+}
+
+/// Runs the sweep and aggregates the measurement.
+pub fn run_bench(opts: &BenchOptions) -> BenchRun {
+    let specs = bench_specs(opts.size);
+    let start = Instant::now();
+    let reports = run_specs(&specs);
+    let total_wall_s = start.elapsed().as_secs_f64();
+    let scenarios: Vec<BenchScenario> = reports
+        .iter()
+        .map(|r| BenchScenario {
+            name: r.name.clone(),
+            events: r.result.events_processed,
+            wall_s: r.wall_s,
+            events_per_sec: r.events_per_sec,
+        })
+        .collect();
+    let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
+    let total_events_per_sec = if total_wall_s > 0.0 {
+        total_events as f64 / total_wall_s
+    } else {
+        0.0
+    };
+    BenchRun {
+        label: opts.label.clone(),
+        size: opts.size.0,
+        scenarios,
+        total_events,
+        total_wall_s,
+        total_events_per_sec,
+        peak_rss_bytes: peak_rss_bytes(),
+    }
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    #[cfg(target_os = "linux")]
+    {
+        if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
+            for line in status.lines() {
+                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                    let kb: u64 = rest
+                        .trim()
+                        .trim_end_matches("kB")
+                        .trim()
+                        .parse()
+                        .unwrap_or(0);
+                    return kb * 1024;
+                }
+            }
+        }
+    }
+    0
+}
+
+fn render_run(run: &BenchRun, indent: &str) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("{indent}  \"label\": \"{}\",\n", run.label));
+    s.push_str(&format!("{indent}  \"size\": {},\n", fmt_f64(run.size)));
+    s.push_str(&format!("{indent}  \"total_events\": {},\n", run.total_events));
+    s.push_str(&format!(
+        "{indent}  \"total_wall_s\": {},\n",
+        fmt_f64(run.total_wall_s)
+    ));
+    s.push_str(&format!(
+        "{indent}  \"total_events_per_sec\": {},\n",
+        fmt_f64(run.total_events_per_sec)
+    ));
+    s.push_str(&format!(
+        "{indent}  \"peak_rss_bytes\": {},\n",
+        run.peak_rss_bytes
+    ));
+    s.push_str(&format!("{indent}  \"scenarios\": [\n"));
+    for (i, sc) in run.scenarios.iter().enumerate() {
+        let comma = if i + 1 < run.scenarios.len() { "," } else { "" };
+        s.push_str(&format!(
+            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}}{comma}\n",
+            sc.name,
+            sc.events,
+            fmt_f64(sc.wall_s),
+            fmt_f64(sc.events_per_sec)
+        ));
+    }
+    s.push_str(&format!("{indent}  ]\n"));
+    s.push_str(&format!("{indent}}}"));
+    s
+}
+
+fn fmt_f64(v: f64) -> String {
+    // Enough digits to round-trip the magnitudes we store, without the
+    // noise of full f64 precision in a committed file.
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.0}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+/// Renders the full `BENCH_netsim.json` document.
+pub fn render_json(baseline: &str, current: &BenchRun) -> String {
+    format!(
+        "{{\n  \"schema\": \"iq-bench-netsim/v1\",\n  \"baseline\": {},\n  \"current\": {}\n}}\n",
+        baseline,
+        render_run(current, "  ")
+    )
+}
+
+/// Extracts the raw JSON object following `"key":` (brace-matched), so
+/// a previously committed `baseline` section can be carried forward
+/// without a full JSON parser.
+pub fn extract_object<'a>(json: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let open = rest.find('{')?;
+    let mut depth = 0usize;
+    for (i, c) in rest[open..].char_indices() {
+        match c {
+            '{' => depth += 1,
+            '}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(&rest[open..open + i + 1]);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Extracts a named number from a JSON object fragment (first match).
+pub fn extract_number(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\":");
+    let at = json.find(&needle)? + needle.len();
+    let rest = json[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == 'E' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+/// Runs the bench, writes the JSON (carrying an existing baseline
+/// forward), and applies the optional regression check.
+///
+/// Returns `Err` with a human-readable message when the check fails or
+/// the output cannot be written.
+pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
+    let run = run_bench(opts);
+
+    // Carry an existing baseline forward; the first run lays the floor.
+    let existing = std::fs::read_to_string(&opts.out_path).ok();
+    let baseline = existing
+        .as_deref()
+        .and_then(|j| extract_object(j, "baseline"))
+        .map(str::to_string)
+        .unwrap_or_else(|| render_run(&run, "  "));
+
+    let doc = render_json(&baseline, &run);
+    std::fs::write(&opts.out_path, &doc)
+        .map_err(|e| format!("cannot write {}: {e}", opts.out_path))?;
+
+    if let Some(check_path) = &opts.check_path {
+        let committed = std::fs::read_to_string(check_path)
+            .map_err(|e| format!("cannot read {check_path}: {e}"))?;
+        let section = extract_object(&committed, "current")
+            .ok_or_else(|| format!("{check_path}: no `current` section"))?;
+        let reference = extract_number(section, "total_events_per_sec")
+            .ok_or_else(|| format!("{check_path}: no total_events_per_sec"))?;
+        if reference > 0.0 {
+            let ratio = run.total_events_per_sec / reference;
+            if ratio < 1.0 - opts.max_regress {
+                return Err(format!(
+                    "events/sec regression: {:.0} now vs {:.0} committed ({:.1}% of \
+                     reference, allowed floor {:.0}%)",
+                    run.total_events_per_sec,
+                    reference,
+                    100.0 * ratio,
+                    100.0 * (1.0 - opts.max_regress),
+                ));
+            }
+            eprintln!(
+                "bench check: {:.0} events/s vs committed {:.0} ({:+.1}%) — ok",
+                run.total_events_per_sec,
+                reference,
+                100.0 * (ratio - 1.0),
+            );
+        }
+    }
+    Ok(run)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_sections_round_trip() {
+        let run = BenchRun {
+            label: "test".into(),
+            size: 0.5,
+            scenarios: vec![BenchScenario {
+                name: "a".into(),
+                events: 100,
+                wall_s: 0.25,
+                events_per_sec: 400.0,
+            }],
+            total_events: 100,
+            total_wall_s: 0.25,
+            total_events_per_sec: 400.0,
+            peak_rss_bytes: 1024,
+        };
+        let doc = render_json(&render_run(&run, "  "), &run);
+        let cur = extract_object(&doc, "current").expect("current section");
+        assert_eq!(extract_number(cur, "total_events_per_sec"), Some(400.0));
+        assert_eq!(extract_number(cur, "total_events"), Some(100.0));
+        let base = extract_object(&doc, "baseline").expect("baseline section");
+        assert_eq!(extract_number(base, "peak_rss_bytes"), Some(1024.0));
+    }
+
+    #[test]
+    fn extract_number_handles_scientific_and_negative() {
+        assert_eq!(extract_number("{\"x\": -2.5}", "x"), Some(-2.5));
+        assert_eq!(extract_number("{\"x\": 1e3}", "x"), Some(1000.0));
+        assert_eq!(extract_number("{\"y\": 1}", "x"), None);
+    }
+
+    #[test]
+    fn bench_specs_are_stable_and_scaled() {
+        let s = bench_specs(Size(0.01));
+        let names: Vec<&str> = s.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(
+            names,
+            ["bulk_rudp", "coordinated_cbr", "marking_vbr", "tcp_fairness", "red_lossy"]
+        );
+        // Scaling floors at 40 frames so tiny sizes still run.
+        assert!(s[0].scenario.frame_sizes.len() >= 40);
+    }
+}

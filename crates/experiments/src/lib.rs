@@ -7,15 +7,18 @@
 //! * [`tables`] — Tables 1–8 (`run_table1` … `run_table8`).
 //! * [`figures`] — Figures 1–4.
 //! * [`runner`] — parallel execution and row rendering.
+//! * [`benchmode`] — the `iqrudp bench` simulator-throughput sweep.
 
 #![warn(missing_docs)]
 
 pub mod ablations;
+pub mod benchmode;
 pub mod figures;
 pub mod runner;
 pub mod scenario;
 pub mod tables;
 
+pub use benchmode::{bench_main, BenchOptions, BenchRun};
 pub use runner::{
     jobs, run_parallel, run_specs, set_jobs, set_telemetry_capture, set_telemetry_dir,
     set_timing_report, set_verify_determinism, Executor, ScenarioReport, ScenarioSpec,

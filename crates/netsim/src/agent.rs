@@ -7,7 +7,7 @@
 
 use std::any::Any;
 
-use crate::packet::{Addr, FlowId, Packet, Payload};
+use crate::packet::{Addr, AgentId, FlowId, Packet, Payload};
 use crate::sim::SimCore;
 use crate::time::{Time, TimeDelta};
 use rand::rngs::SmallRng;
@@ -42,6 +42,7 @@ pub trait Agent: Any + Send {
 pub struct Ctx<'a> {
     pub(crate) core: &'a mut SimCore,
     pub(crate) addr: Addr,
+    pub(crate) agent: AgentId,
 }
 
 impl Ctx<'_> {
@@ -72,7 +73,7 @@ impl Ctx<'_> {
     /// Arms a timer to fire after `delay`; `token` is echoed back to
     /// [`Agent::on_timer`] so one agent can multiplex timers.
     pub fn set_timer(&mut self, delay: TimeDelta, token: u64) -> TimerId {
-        self.core.set_timer(self.addr, delay, token)
+        self.core.set_timer(self.agent, delay, token)
     }
 
     /// Cancels a timer if it has not fired yet. Cancelling an already

@@ -1,12 +1,18 @@
-//! The event heap.
+//! Scheduled events and their ordering.
 //!
 //! Events are ordered by `(time, seq)` where `seq` is a monotonically
 //! increasing tiebreaker, so simultaneous events execute in the order they
 //! were scheduled. This makes runs bit-for-bit deterministic.
+//!
+//! An [`Event`] is deliberately small (32 bytes): packets travel as
+//! 4-byte [`PacketKey`]s into the simulator's packet slab and timers as
+//! 8-byte generation-checked [`TimerKey`]s, so moving an event through
+//! the scheduler never copies packet contents.
 
 use std::cmp::Ordering;
 
-use crate::packet::{AgentId, LinkId, Packet};
+use crate::packet::{AgentId, LinkId};
+use crate::slab::{PacketKey, TimerKey};
 use crate::time::Time;
 
 /// What happens when an event fires.
@@ -16,8 +22,8 @@ pub enum EventKind {
     Deliver {
         /// Receiving agent.
         agent: AgentId,
-        /// The packet being delivered.
-        packet: Packet,
+        /// Slab key of the packet being delivered.
+        packet: PacketKey,
     },
     /// A link finished serializing a packet: the packet starts
     /// propagating and the transmitter may pick up the next one.
@@ -30,17 +36,14 @@ pub enum EventKind {
     LinkArrival {
         /// Link whose far end was reached.
         link: LinkId,
-        /// The arriving packet.
-        packet: Packet,
+        /// Slab key of the arriving packet.
+        packet: PacketKey,
     },
-    /// A timer set by an agent.
+    /// A timer set by an agent. The key resolves to `(agent, token)` in
+    /// the timer slab — or to nothing, if the timer was cancelled.
     Timer {
-        /// Agent that set the timer.
-        agent: AgentId,
-        /// Token echoed back to the agent.
-        token: u64,
-        /// Identity used for cancellation.
-        timer_id: u64,
+        /// Generation-checked timer slot key.
+        key: TimerKey,
     },
     /// First activation of an agent.
     Start {
@@ -118,5 +121,16 @@ mod tests {
         assert_eq!(h.pop().unwrap().seq, 2);
         assert_eq!(h.pop().unwrap().seq, 5);
         assert_eq!(h.pop().unwrap().seq, 9);
+    }
+
+    #[test]
+    fn event_is_compact() {
+        // The point of slab keys: scheduler moves stay cheap. Guard the
+        // size so a future field doesn't silently fatten every event.
+        assert!(
+            std::mem::size_of::<Event>() <= 32,
+            "Event grew to {} bytes",
+            std::mem::size_of::<Event>()
+        );
     }
 }

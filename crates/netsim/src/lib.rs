@@ -55,7 +55,9 @@ pub mod event;
 pub mod link;
 pub mod packet;
 pub mod routing;
+pub mod sched;
 pub mod sim;
+pub mod slab;
 pub mod time;
 pub mod trace;
 pub mod topology;
@@ -64,7 +66,9 @@ pub use agent::{Agent, Ctx, TimerId};
 pub use link::{LinkSpec, LinkStats, QueueDiscipline, RedParams};
 pub use packet::{payload, Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
 pub use routing::RoutingTable;
+pub use sched::EventQueue;
 pub use sim::{SimCounters, Simulator};
+pub use slab::{PacketKey, TimerKey};
 pub use time::{Time, TimeDelta};
 pub use trace::{FlowStats, PacketEvent, PacketEventKind, TraceCollector};
 pub use topology::{build_dumbbell, Dumbbell, DumbbellSpec};

@@ -14,7 +14,8 @@ use std::collections::VecDeque;
 use rand::rngs::SmallRng;
 use rand::Rng;
 
-use crate::packet::{NodeId, Packet};
+use crate::packet::NodeId;
+use crate::slab::PacketKey;
 use crate::time::{Time, TimeDelta};
 
 /// Active queue management discipline for a link's output queue.
@@ -137,6 +138,17 @@ pub struct LinkStats {
     pub peak_queue_bytes: u32,
 }
 
+/// A queue entry: just the slab key and the wire size. The packet itself
+/// stays parked in the simulator's slab, so queue churn moves 8 bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct QueuedPacket {
+    /// Slab key of the queued packet.
+    pub key: PacketKey,
+    /// Wire size in bytes (cached here: it drives serialization time and
+    /// queue accounting, and is needed after the slab entry is dropped).
+    pub size: u32,
+}
+
 /// Mutable state of a link inside the simulator.
 #[derive(Debug)]
 pub struct LinkState {
@@ -146,7 +158,7 @@ pub struct LinkState {
     pub from: NodeId,
     /// Receiving end.
     pub to: NodeId,
-    queue: VecDeque<Packet>,
+    queue: VecDeque<QueuedPacket>,
     queued_bytes: u32,
     /// RED's exponentially averaged queue size, bytes.
     avg_queue: f64,
@@ -198,9 +210,10 @@ impl LinkState {
         self.busy
     }
 
-    /// Offers a packet to the queue, applying the configured discipline.
-    pub fn enqueue(&mut self, pkt: Packet, rng: &mut SmallRng) -> Enqueue {
-        let sz = pkt.size;
+    /// Offers a packet (by slab key and wire size) to the queue, applying
+    /// the configured discipline. On [`Enqueue::Dropped`] the caller still
+    /// owns the key and must release the slab entry.
+    pub fn enqueue(&mut self, key: PacketKey, sz: u32, rng: &mut SmallRng) -> Enqueue {
         // RED early drop, evaluated on the averaged queue size.
         if let QueueDiscipline::Red(red) = self.spec.discipline {
             self.avg_queue =
@@ -229,7 +242,7 @@ impl LinkState {
         self.stats.enqueued_packets += 1;
         self.stats.enqueued_bytes += u64::from(sz);
         self.stats.peak_queue_bytes = self.stats.peak_queue_bytes.max(self.queued_bytes);
-        self.queue.push_back(pkt);
+        self.queue.push_back(QueuedPacket { key, size: sz });
         if self.busy {
             Enqueue::Queued
         } else {
@@ -242,13 +255,13 @@ impl LinkState {
     /// to start (via [`Enqueue::StartTx`]) or have just finished a
     /// transmission. Returns `None` when the queue drained, in which case
     /// the transmitter goes idle.
-    pub fn begin_tx(&mut self) -> Option<Packet> {
+    pub fn begin_tx(&mut self) -> Option<QueuedPacket> {
         match self.queue.pop_front() {
-            Some(pkt) => {
-                self.queued_bytes -= pkt.size;
+            Some(q) => {
+                self.queued_bytes -= q.size;
                 self.stats.transmitted_packets += 1;
-                self.stats.transmitted_bytes += u64::from(pkt.size);
-                Some(pkt)
+                self.stats.transmitted_bytes += u64::from(q.size);
+                Some(q)
             }
             None => {
                 self.busy = false;
@@ -257,9 +270,9 @@ impl LinkState {
         }
     }
 
-    /// Serialization time for `pkt` on this link.
-    pub fn tx_time(&self, pkt: &Packet) -> TimeDelta {
-        crate::time::transmission_time(pkt.size, self.spec.rate_bps)
+    /// Serialization time for a packet of `size` wire bytes on this link.
+    pub fn tx_time(&self, size: u32) -> TimeDelta {
+        crate::time::transmission_time(size, self.spec.rate_bps)
     }
 
     /// Arrival time at the far end for a transmission finishing at
@@ -281,23 +294,10 @@ impl LinkState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{payload, Addr, FlowId};
     use rand::SeedableRng;
 
     fn rng() -> SmallRng {
         SmallRng::seed_from_u64(1)
-    }
-
-    fn pkt(size: u32) -> Packet {
-        Packet {
-            id: 0,
-            src: Addr::new(NodeId(0), 0),
-            dst: Addr::new(NodeId(1), 0),
-            size,
-            flow: FlowId::ANON,
-            sent_at: 0,
-            payload: payload(()),
-        }
     }
 
     fn link(queue_bytes: u32) -> LinkState {
@@ -311,8 +311,8 @@ mod tests {
     #[test]
     fn first_enqueue_starts_transmitter() {
         let mut l = link(10_000);
-        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::StartTx);
-        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::Queued);
+        assert_eq!(l.enqueue(PacketKey(0), 1000, &mut rng()), Enqueue::StartTx);
+        assert_eq!(l.enqueue(PacketKey(1), 1000, &mut rng()), Enqueue::Queued);
         assert!(l.is_busy());
         assert_eq!(l.queue_len(), 2);
     }
@@ -320,26 +320,22 @@ mod tests {
     #[test]
     fn drop_tail_on_overflow() {
         let mut l = link(2500);
-        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::StartTx);
-        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::Queued);
-        assert_eq!(l.enqueue(pkt(1000), &mut rng()), Enqueue::Dropped);
+        assert_eq!(l.enqueue(PacketKey(0), 1000, &mut rng()), Enqueue::StartTx);
+        assert_eq!(l.enqueue(PacketKey(1), 1000, &mut rng()), Enqueue::Queued);
+        assert_eq!(l.enqueue(PacketKey(2), 1000, &mut rng()), Enqueue::Dropped);
         assert_eq!(l.stats.dropped_packets, 1);
         assert_eq!(l.stats.dropped_bytes, 1000);
         // A smaller packet that fits is still accepted after a drop.
-        assert_eq!(l.enqueue(pkt(500), &mut rng()), Enqueue::Queued);
+        assert_eq!(l.enqueue(PacketKey(3), 500, &mut rng()), Enqueue::Queued);
     }
 
     #[test]
     fn begin_tx_drains_in_fifo_order_and_idles() {
         let mut l = link(10_000);
-        let mut a = pkt(100);
-        a.id = 1;
-        let mut b = pkt(200);
-        b.id = 2;
-        l.enqueue(a, &mut rng());
-        l.enqueue(b, &mut rng());
-        assert_eq!(l.begin_tx().unwrap().id, 1);
-        assert_eq!(l.begin_tx().unwrap().id, 2);
+        l.enqueue(PacketKey(1), 100, &mut rng());
+        l.enqueue(PacketKey(2), 200, &mut rng());
+        assert_eq!(l.begin_tx().unwrap().key, PacketKey(1));
+        assert_eq!(l.begin_tx().unwrap().key, PacketKey(2));
         assert!(l.begin_tx().is_none());
         assert!(!l.is_busy());
         assert_eq!(l.queued_bytes(), 0);
@@ -349,14 +345,14 @@ mod tests {
     fn tx_time_uses_link_rate() {
         let l = link(10_000);
         // 1000 bytes at 8 Mb/s = 1 ms.
-        assert_eq!(l.tx_time(&pkt(1000)), crate::time::millis(1));
+        assert_eq!(l.tx_time(1000), crate::time::millis(1));
     }
 
     #[test]
     fn peak_queue_tracked() {
         let mut l = link(10_000);
-        l.enqueue(pkt(4000), &mut rng());
-        l.enqueue(pkt(4000), &mut rng());
+        l.enqueue(PacketKey(0), 4000, &mut rng());
+        l.enqueue(PacketKey(1), 4000, &mut rng());
         assert_eq!(l.stats.peak_queue_bytes, 8000);
         l.begin_tx();
         l.begin_tx();
@@ -377,8 +373,8 @@ mod tests {
         let mut r = rng();
         // Fill the queue to drive the average well above max_th.
         let mut dropped = 0;
-        for _ in 0..60 {
-            if l.enqueue(pkt(500), &mut r) == Enqueue::Dropped {
+        for i in 0..60 {
+            if l.enqueue(PacketKey(i), 500, &mut r) == Enqueue::Dropped {
                 dropped += 1;
             }
         }
@@ -397,8 +393,8 @@ mod tests {
             NodeId(1),
         );
         let mut r = rng();
-        for _ in 0..10 {
-            assert_ne!(l.enqueue(pkt(500), &mut r), Enqueue::Dropped);
+        for i in 0..10 {
+            assert_ne!(l.enqueue(PacketKey(i), 500, &mut r), Enqueue::Dropped);
             l.begin_tx();
         }
         assert_eq!(l.stats.red_drops, 0);

@@ -6,7 +6,7 @@
 //! shared, dynamically-typed [`Payload`]. Protocol crates downcast the
 //! payload to their own segment types on receipt.
 
-use std::any::Any;
+use std::any::{Any, TypeId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -68,13 +68,102 @@ impl FlowId {
     pub const ANON: FlowId = FlowId(u32::MAX);
 }
 
-/// Dynamically-typed packet content, shared so that a packet can be
-/// duplicated (e.g. by a lossy-duplication link model) without copying.
-pub type Payload = Arc<dyn Any + Send + Sync>;
+/// Upper bound on values stored inline in a [`Payload`].
+const INLINE_BYTES: usize = 16;
 
-/// Builds a payload from any sendable value.
+/// Dynamically-typed packet content.
+///
+/// Small plain-data values (at most `INLINE_BYTES` bytes, `u64`-or-less
+/// alignment, no destructor — e.g. a datagram sequence number) are stored
+/// inline, so steady-state datagram sends never allocate. Everything else
+/// is shared behind an `Arc`, so a packet can be duplicated (e.g. by a
+/// lossy-duplication link model) without copying the content.
+pub struct Payload(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    /// Type-tagged raw bytes of a destructor-free value.
+    Inline {
+        type_id: TypeId,
+        data: [u64; INLINE_BYTES / 8],
+    },
+    /// Shared heap content.
+    Shared(Arc<dyn Any + Send + Sync>),
+}
+
+impl Clone for Payload {
+    fn clone(&self) -> Self {
+        Payload(self.0.clone())
+    }
+}
+
+impl Payload {
+    /// Wraps an existing shared value without re-boxing it.
+    pub fn from_arc(value: Arc<dyn Any + Send + Sync>) -> Self {
+        Payload(Repr::Shared(value))
+    }
+
+    /// Attempts to view the content as a `T`.
+    pub fn downcast_ref<T: Any>(&self) -> Option<&T> {
+        match &self.0 {
+            Repr::Inline { type_id, data } => {
+                if *type_id == TypeId::of::<T>() {
+                    // SAFETY: the type id matches the `T` this payload was
+                    // built from, so `data` holds a valid `T` (size and
+                    // alignment were checked at construction).
+                    Some(unsafe { &*data.as_ptr().cast::<T>() })
+                } else {
+                    None
+                }
+            }
+            Repr::Shared(arc) => arc.downcast_ref::<T>(),
+        }
+    }
+
+    /// Whether two payloads share the same heap allocation. Inline
+    /// payloads are value copies and never "shared".
+    pub fn ptr_eq(a: &Payload, b: &Payload) -> bool {
+        match (&a.0, &b.0) {
+            (Repr::Shared(x), Repr::Shared(y)) => Arc::ptr_eq(x, y),
+            _ => false,
+        }
+    }
+}
+
+impl From<Arc<dyn Any + Send + Sync>> for Payload {
+    fn from(value: Arc<dyn Any + Send + Sync>) -> Self {
+        Payload::from_arc(value)
+    }
+}
+
+/// Builds a payload from any sendable value, storing it inline when it is
+/// small plain data (see [`Payload`]).
 pub fn payload<T: Any + Send + Sync>(value: T) -> Payload {
-    Arc::new(value)
+    // All three conditions are compile-time constants per `T`, so each
+    // instantiation collapses to a single branch-free path.
+    if std::mem::size_of::<T>() <= INLINE_BYTES
+        && std::mem::align_of::<T>() <= std::mem::align_of::<u64>()
+        && !std::mem::needs_drop::<T>()
+    {
+        let mut data = [0u64; INLINE_BYTES / 8];
+        // SAFETY: `T` fits in `data`, requires at most `u64` alignment,
+        // and has no drop glue; the original is forgotten after the byte
+        // copy, so the value is moved, not duplicated.
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                (&value as *const T).cast::<u8>(),
+                data.as_mut_ptr().cast::<u8>(),
+                std::mem::size_of::<T>(),
+            );
+        }
+        std::mem::forget(value);
+        Payload(Repr::Inline {
+            type_id: TypeId::of::<T>(),
+            data,
+        })
+    } else {
+        Payload(Repr::Shared(Arc::new(value)))
+    }
 }
 
 /// A packet in flight.
@@ -137,6 +226,34 @@ mod tests {
     }
 
     #[test]
+    fn small_plain_values_are_stored_inline() {
+        #[derive(Debug, PartialEq)]
+        struct Dg {
+            seq: u64,
+            tag: u32,
+        }
+        let p = payload(Dg { seq: 9, tag: 3 });
+        assert!(matches!(p.0, Repr::Inline { .. }));
+        assert_eq!(p.downcast_ref::<Dg>(), Some(&Dg { seq: 9, tag: 3 }));
+        assert_eq!(p.downcast_ref::<u64>(), None);
+        // Inline payloads are value copies, never aliased.
+        let q = p.clone();
+        assert!(!Payload::ptr_eq(&p, &q));
+    }
+
+    #[test]
+    fn droppy_or_large_values_go_to_the_arc_path() {
+        // Needs drop glue: must not be inlined.
+        let s = payload(String::from("heap"));
+        assert!(matches!(s.0, Repr::Shared(_)));
+        assert_eq!(s.downcast_ref::<String>().map(String::as_str), Some("heap"));
+        // Too large for the inline slot.
+        let big = payload([0u64; 4]);
+        assert!(matches!(big.0, Repr::Shared(_)));
+        assert!(big.downcast_ref::<[u64; 4]>().is_some());
+    }
+
+    #[test]
     fn addr_display() {
         assert_eq!(Addr::new(NodeId(3), 9).to_string(), "n3:9");
     }
@@ -153,7 +270,7 @@ mod tests {
             payload: payload(String::from("hello")),
         };
         let q = p.clone();
-        assert!(Arc::ptr_eq(&p.payload, &q.payload));
+        assert!(Payload::ptr_eq(&p.payload, &q.payload));
         assert_eq!(q.payload_as::<String>().unwrap(), "hello");
     }
 }

@@ -1,0 +1,503 @@
+//! The two-tier event scheduler: a hierarchical timer wheel backed by an
+//! overflow heap.
+//!
+//! The old scheduler was a single `BinaryHeap<Event>`: every push and pop
+//! paid `O(log n)` comparisons and moved events up and down a deep heap.
+//! Discrete-event simulations schedule overwhelmingly into the *near*
+//! future (per-hop serialization, propagation, RTO and measuring-period
+//! timers), which a timer wheel turns into `O(1)` bucket pushes.
+//!
+//! ## Structure
+//!
+//! * **near** — a small sorted vector holding every event below
+//!   `near_end`. This is the only structure events are
+//!   popped from, so pop order is exactly the sort order: `(time, seq)`.
+//! * **wheel** — [`LEVELS`] rings of [`SLOTS`] buckets each. Level 0
+//!   buckets span 2^16 ns (≈ 65 µs), each higher level is [`SLOTS`] times
+//!   coarser (≈ 16.8 ms, ≈ 4.3 s). A bucket is a plain `Vec<Event>`
+//!   whose capacity is retained across drains, so steady-state
+//!   scheduling never allocates.
+//! * **far** — a binary heap for events beyond the top level's horizon
+//!   (≈ 18 min ahead). Rare in practice; migrated into the wheel as the
+//!   horizon advances.
+//!
+//! ## Determinism
+//!
+//! Pop order is bit-for-bit identical to the old `BinaryHeap`: ascending
+//! `(time, seq)`. The argument: every event is *popped* from `near`,
+//! which orders by `(time, seq)`; an event enters `near` no later than
+//! the moment `near_end` passes its timestamp; and `near_end` only
+//! advances to the start of the earliest non-empty bucket (or the far
+//! heap's minimum), so no event still sitting in a bucket can precede
+//! anything already poppable. Wheel buckets are unordered, but a bucket
+//! is drained *whole* into `near` before any of its events pop, where
+//! the sort restores `(time, seq)` order. `tests/scheduler_diff.rs`
+//! pins this equivalence against a model `BinaryHeap` under vendored
+//! proptest op streams.
+
+use std::collections::BinaryHeap;
+
+use crate::event::Event;
+use crate::time::Time;
+
+/// log2 of the number of buckets per wheel level.
+const SLOT_BITS: u32 = 8;
+/// Buckets per wheel level.
+pub const SLOTS: usize = 1 << SLOT_BITS;
+/// Wheel levels; beyond the top level events overflow into the far heap.
+pub const LEVELS: usize = 3;
+/// log2 of the level-0 bucket width in nanoseconds (2^16 ns ≈ 65.5 µs).
+const G0_BITS: u32 = 16;
+
+/// Bit shift converting a time to an absolute bucket number at `level`.
+#[inline]
+const fn shift(level: usize) -> u32 {
+    G0_BITS + SLOT_BITS * level as u32
+}
+
+/// Absolute bucket number of `t` at `level`.
+#[inline]
+const fn bucket_of(t: Time, level: usize) -> u64 {
+    t >> shift(level)
+}
+
+/// Exclusive end time of absolute bucket `b` at `level` (saturating).
+#[inline]
+fn bucket_end(b: u64, level: usize) -> Time {
+    ((b as u128 + 1) << shift(level)).min(u64::MAX as u128) as u64
+}
+
+/// One wheel level: a ring of buckets, an occupancy bitmap so empty
+/// stretches are skipped word-at-a-time, and an event count so an empty
+/// level costs one branch during refill.
+struct Level {
+    buckets: Vec<Vec<Event>>,
+    occupied: [u64; SLOTS / 64],
+    events: usize,
+}
+
+const WORDS: usize = SLOTS / 64;
+
+impl Level {
+    fn new() -> Self {
+        Self {
+            buckets: (0..SLOTS).map(|_| Vec::new()).collect(),
+            occupied: [0; WORDS],
+            events: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, abs_bucket: u64, ev: Event) {
+        let i = (abs_bucket as usize) & (SLOTS - 1);
+        self.buckets[i].push(ev);
+        self.occupied[i / 64] |= 1u64 << (i % 64);
+        self.events += 1;
+    }
+
+    #[inline]
+    fn clear_bit(&mut self, i: usize) {
+        self.occupied[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    #[inline]
+    fn is_occupied(&self, i: usize) -> bool {
+        self.occupied[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// First occupied absolute bucket in `[from, from + SLOTS)` — the
+    /// level's whole ring window — via word-wise bitmap scan (at most
+    /// `WORDS + 1` word tests).
+    fn next_occupied(&self, from: u64) -> Option<u64> {
+        if self.events == 0 {
+            return None;
+        }
+        let start = (from as usize) & (SLOTS - 1);
+        let first_word = start / 64;
+        let first_bit = start % 64;
+        let w = self.occupied[first_word] >> first_bit;
+        if w != 0 {
+            return Some(from + u64::from(w.trailing_zeros()));
+        }
+        let mut offset = (64 - first_bit) as u64;
+        for k in 1..=WORDS {
+            let idx = (first_word + k) % WORDS;
+            let mut w = self.occupied[idx];
+            if k == WORDS {
+                // Wrapped back to the first word: only the ring slots
+                // before `start` remain unscanned.
+                w &= (1u64 << first_bit).wrapping_sub(1);
+            }
+            if w != 0 {
+                return Some(from + offset + u64::from(w.trailing_zeros()));
+            }
+            offset += 64;
+        }
+        None
+    }
+}
+
+/// The simulator's pending-event set: push events in any order, pop them
+/// in ascending `(time, seq)` order.
+pub struct EventQueue {
+    /// Events below `near_end`, sorted descending by `(time, seq)` so the
+    /// next event pops from the end; the only pop source. A drained
+    /// bucket holds a handful of events, so one `sort_unstable` beats
+    /// per-event heap sifts, and mid-drain inserts (same-time local
+    /// deliveries) are rare enough that `Vec::insert` stays cheap.
+    /// `Event`'s `Ord` is reversed (min-queue through a max-heap), so an
+    /// ascending sort by that `Ord` *is* descending `(time, seq)`.
+    near: Vec<Event>,
+    /// Exclusive upper bound of the times fully migrated into `near`.
+    near_end: Time,
+    levels: Vec<Level>,
+    /// Events at or beyond the top level's horizon.
+    far: BinaryHeap<Event>,
+    len: usize,
+    /// Proven lower bound on the earliest event held above level 0
+    /// (levels 1+, far heap). Level-0 buckets ending at or before this
+    /// can drain without scanning the coarser levels — the refill fast
+    /// path. Conservative: pushes lower it, only a full scan raises it.
+    coarse_floor: Time,
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// An empty queue starting at time zero.
+    pub fn new() -> Self {
+        Self {
+            near: Vec::new(),
+            near_end: 0,
+            levels: (0..LEVELS).map(|_| Level::new()).collect(),
+            far: BinaryHeap::new(),
+            len: 0,
+            coarse_floor: 0,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current drain cursor (absolute bucket number) at `level`.
+    #[inline]
+    fn cursor(&self, level: usize) -> u64 {
+        bucket_of(self.near_end, level)
+    }
+
+    /// Schedules an event. `O(1)` for the common (near-future) case.
+    pub fn push(&mut self, ev: Event) {
+        self.len += 1;
+        if ev.at < self.near_end {
+            let idx = self.near.binary_search(&ev).unwrap_err();
+            self.near.insert(idx, ev);
+            return;
+        }
+        for level in 0..LEVELS {
+            let b = bucket_of(ev.at, level);
+            if b - self.cursor(level) < SLOTS as u64 {
+                if level > 0 {
+                    let start = ((b as u128) << shift(level)).min(u64::MAX as u128) as u64;
+                    self.coarse_floor = self.coarse_floor.min(start);
+                }
+                self.levels[level].push(b, ev);
+                return;
+            }
+        }
+        self.coarse_floor = self.coarse_floor.min(ev.at);
+        self.far.push(ev);
+    }
+
+    /// Earliest pending `(time)`; `None` when empty. May migrate events
+    /// internally, hence `&mut`.
+    pub fn peek_time(&mut self) -> Option<Time> {
+        self.refill();
+        self.near.last().map(|ev| ev.at)
+    }
+
+    /// Removes and returns the earliest event (ties broken by `seq`).
+    pub fn pop(&mut self) -> Option<Event> {
+        self.refill();
+        let ev = self.near.pop();
+        if ev.is_some() {
+            self.len -= 1;
+        }
+        ev
+    }
+
+    /// Removes and returns the earliest event if its time is at or before
+    /// `deadline` — the simulator's run-loop primitive, saving a separate
+    /// peek-then-pop round trip per event.
+    pub fn pop_before(&mut self, deadline: Time) -> Option<Event> {
+        self.refill();
+        match self.near.last() {
+            Some(ev) if ev.at <= deadline => {
+                self.len -= 1;
+                self.near.pop()
+            }
+            _ => None,
+        }
+    }
+
+    /// Advances `near_end` to `t`, cascading any higher-level bucket the
+    /// cursor just entered down into finer levels (or `near`).
+    ///
+    /// Buckets *skipped* by a multi-bucket cursor jump are empty by
+    /// construction: `refill` only jumps to the earliest occupied
+    /// bucket's start (or the far minimum), so an occupied skipped
+    /// bucket would have been the jump target instead.
+    fn advance_to(&mut self, t: Time) {
+        debug_assert!(t >= self.near_end, "cursor moved backwards");
+        let old: [u64; LEVELS] = [self.cursor(0), self.cursor(1), self.cursor(2)];
+        self.near_end = t;
+        // Top-down so a level-2 bucket cascades through level 1 before
+        // the level-1 cursor's own entry-cascade runs.
+        if self.cursor(LEVELS - 1) != old[LEVELS - 1] {
+            // Entering a new top-level bucket also widens the horizon:
+            // adopt far events that now fit in the wheel.
+            self.cascade(LEVELS - 1, self.cursor(LEVELS - 1));
+            self.adopt_far();
+        }
+        for level in (1..LEVELS - 1).rev() {
+            if self.cursor(level) != old[level] {
+                self.cascade(level, self.cursor(level));
+            }
+        }
+    }
+
+    /// Re-distributes bucket `abs` of `level` into finer structures.
+    fn cascade(&mut self, level: usize, abs: u64) {
+        let i = (abs as usize) & (SLOTS - 1);
+        if !self.levels[level].is_occupied(i) {
+            return;
+        }
+        let mut events = std::mem::take(&mut self.levels[level].buckets[i]);
+        self.levels[level].clear_bit(i);
+        self.levels[level].events -= events.len();
+        for ev in events.drain(..) {
+            debug_assert_eq!(bucket_of(ev.at, level), abs, "bucket collision");
+            self.len -= 1; // push re-counts
+            self.push(ev);
+        }
+        // Put the emptied Vec back so its capacity is reused.
+        self.levels[level].buckets[i] = events;
+    }
+
+    /// Moves far-heap events that now fall inside the wheel horizon.
+    fn adopt_far(&mut self) {
+        let horizon = self.cursor(LEVELS - 1) + SLOTS as u64;
+        while let Some(ev) = self.far.peek() {
+            if bucket_of(ev.at, LEVELS - 1) >= horizon {
+                break;
+            }
+            let ev = self.far.pop().expect("peeked");
+            self.len -= 1; // push re-counts
+            self.push(ev);
+        }
+    }
+
+    /// Ensures `near` holds the earliest pending event (if any exist).
+    ///
+    /// Each iteration finds the bucket with the minimum start time
+    /// across all levels (each level scans its full ring window). A
+    /// level-0 minimum is drained into `near`; a coarser minimum is
+    /// entered via [`Self::advance_to`], which cascades it down for the
+    /// next iteration. Ties prefer the coarser level: a level-k bucket
+    /// sharing a start with a level-0 bucket may hold events *inside*
+    /// that level-0 bucket's span, so it must cascade before the
+    /// level-0 bucket is drained.
+    /// Migrates level-0 bucket `b` wholly into `near` and advances the
+    /// cursor past it. Only sound when nothing above level 0 can hold an
+    /// event before the bucket's end (the callers' invariant).
+    fn drain_level0(&mut self, b: u64) {
+        let i = (b as usize) & (SLOTS - 1);
+        let mut events = std::mem::take(&mut self.levels[0].buckets[i]);
+        self.levels[0].clear_bit(i);
+        self.levels[0].events -= events.len();
+        debug_assert!(
+            events.iter().all(|ev| bucket_of(ev.at, 0) == b),
+            "bucket collision"
+        );
+        self.near.append(&mut events);
+        self.near.sort_unstable(); // `near` was empty: sorts the bucket
+        self.levels[0].buckets[i] = events; // keep capacity
+        let end = bucket_end(b, 0).max(self.near_end);
+        self.advance_to(end); // may cross a coarser boundary
+    }
+
+    fn refill(&mut self) {
+        while self.near.is_empty() && self.len > 0 {
+            // Fast path: a level-0 bucket ending at or before the coarse
+            // floor drains without touching the coarser levels at all.
+            if let Some(b) = self.levels[0].next_occupied(self.cursor(0)) {
+                if bucket_end(b, 0) <= self.coarse_floor {
+                    self.drain_level0(b);
+                    continue;
+                }
+            }
+            // Slow path: minimum-start scan across every level, which
+            // also re-proves the coarse floor for future fast drains.
+            let mut best: Option<(Time, usize, u64)> = None;
+            let mut coarse_min = self.far.peek().map_or(Time::MAX, |ev| ev.at);
+            for level in 0..LEVELS {
+                let cur = self.cursor(level);
+                if let Some(b) = self.levels[level].next_occupied(cur) {
+                    let start = ((b as u128) << shift(level)).min(u64::MAX as u128) as u64;
+                    if level > 0 {
+                        coarse_min = coarse_min.min(start);
+                    }
+                    // `<=`: later (coarser) levels win ties.
+                    if best.is_none_or(|(s, _, _)| start <= s) {
+                        best = Some((start, level, b));
+                    }
+                }
+            }
+            self.coarse_floor = coarse_min;
+            match best {
+                Some((_, 0, b)) => {
+                    // Nothing anywhere starts before this bucket ends
+                    // (coarser bucket starts are aligned to level-0
+                    // boundaries, and the far heap lies beyond the wheel
+                    // horizon), so the whole bucket is safe to migrate.
+                    self.drain_level0(b);
+                }
+                Some((start, _, _)) => {
+                    // Entering the coarser bucket cascades its events
+                    // down; the next iteration re-evaluates.
+                    self.advance_to(start.max(self.near_end));
+                }
+                None => match self.far.peek().map(|ev| ev.at) {
+                    // The far minimum is beyond every wheel horizon, so
+                    // jumping there cascades/adopts everything relevant.
+                    Some(t) => self.advance_to(t.max(self.near_end)),
+                    None => return, // only `near` had events, and it's empty
+                },
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+    use crate::packet::AgentId;
+
+    fn ev(at: Time, seq: u64) -> Event {
+        Event {
+            at,
+            seq,
+            kind: EventKind::Start { agent: AgentId(0) },
+        }
+    }
+
+    #[test]
+    fn pops_in_time_then_seq_order() {
+        let mut q = EventQueue::new();
+        for (at, seq) in [(30, 0), (10, 1), (20, 2), (10, 3), (10, 0)] {
+            q.push(ev(at, seq));
+        }
+        let order: Vec<(Time, u64)> = std::iter::from_fn(|| q.pop().map(|e| (e.at, e.seq))).collect();
+        assert_eq!(order, [(10, 0), (10, 1), (10, 3), (20, 2), (30, 0)]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn spans_all_tiers() {
+        let mut q = EventQueue::new();
+        // near/level-0, level-1, level-2, and far-heap territory.
+        let times = [
+            0,
+            50_000,                  // level 0
+            5_000_000,               // level 1 (5 ms)
+            1_000_000_000,           // level 2 (1 s)
+            100_000_000_000,         // level 2 outer
+            5_000_000_000_000,       // far heap (5000 s)
+            u64::MAX,                // saturated timer
+        ];
+        for (seq, &at) in times.iter().enumerate() {
+            q.push(ev(at, seq as u64));
+        }
+        let popped: Vec<Time> = std::iter::from_fn(|| q.pop().map(|e| e.at)).collect();
+        let mut sorted = times.to_vec();
+        sorted.sort_unstable();
+        assert_eq!(popped, sorted);
+    }
+
+    #[test]
+    fn interleaved_push_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        let mut seq = 0u64;
+        let mut push = |q: &mut EventQueue, at: Time| {
+            q.push(ev(at, seq));
+            seq += 1;
+        };
+        push(&mut q, 1_000_000);
+        push(&mut q, 2_000_000);
+        assert_eq!(q.pop().unwrap().at, 1_000_000);
+        // Schedule at the *popped* time (the simulator does this for
+        // local deliveries) and earlier than already-pending events.
+        push(&mut q, 1_000_000);
+        push(&mut q, 1_500_000);
+        assert_eq!(q.pop().unwrap().at, 1_000_000);
+        assert_eq!(q.pop().unwrap().at, 1_500_000);
+        assert_eq!(q.pop().unwrap().at, 2_000_000);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(ev(7_777_777, 0));
+        q.push(ev(3_333, 1));
+        assert_eq!(q.peek_time(), Some(3_333));
+        assert_eq!(q.pop().unwrap().at, 3_333);
+        assert_eq!(q.peek_time(), Some(7_777_777));
+        q.pop();
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn len_tracks_across_migrations() {
+        let mut q = EventQueue::new();
+        for i in 0..1000u64 {
+            q.push(ev(i * 7_919_113, i)); // spread across tiers
+        }
+        assert_eq!(q.len(), 1000);
+        for _ in 0..500 {
+            q.pop();
+        }
+        assert_eq!(q.len(), 500);
+        for i in 0..100u64 {
+            let t = q.peek_time().unwrap() + i;
+            q.push(ev(t, 10_000 + i));
+        }
+        assert_eq!(q.len(), 600);
+        let mut n = 0;
+        while q.pop().is_some() {
+            n += 1;
+        }
+        assert_eq!(n, 600);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn long_idle_gap_jumps_without_spinning() {
+        let mut q = EventQueue::new();
+        q.push(ev(0, 0));
+        q.push(ev(3_600_000_000_000, 1)); // one hour later, far territory
+        assert_eq!(q.pop().unwrap().at, 0);
+        assert_eq!(q.pop().unwrap().at, 3_600_000_000_000);
+    }
+}

@@ -1,6 +1,20 @@
 //! The simulator: topology construction, event loop, and dispatch.
-
-use std::collections::{BinaryHeap, HashMap, HashSet};
+//!
+//! ## Hot-path layout
+//!
+//! The event loop is built around three structures chosen for per-event
+//! cost (see `DESIGN.md` § "Scheduler internals"):
+//!
+//! * a two-tier [`EventQueue`] (timer wheel + overflow heap) instead of
+//!   one big binary heap;
+//! * a `PacketSlab` that owns every in-flight packet, so events and
+//!   link queues move 4-byte keys, not ~100-byte packets;
+//! * a `TimerSlab` with generation-checked slots, so cancellation is
+//!   O(1) and leaves no residue (the old `cancelled_timers: HashSet`
+//!   grew forever);
+//! * per-node dense port tables: the destination agent is resolved once
+//!   at send time and carried with the packet, instead of a
+//!   `HashMap<Addr, AgentId>` probe on every hop.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -10,6 +24,8 @@ use crate::event::{Event, EventKind};
 use crate::link::{Enqueue, LinkSpec, LinkState, LinkStats};
 use crate::packet::{Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
 use crate::routing::RoutingTable;
+use crate::sched::EventQueue;
+use crate::slab::{PacketKey, PacketSlab, TimerKey, TimerSlab};
 use crate::time::{Time, TimeDelta};
 use crate::trace::{PacketEvent, PacketEventKind, TraceCollector};
 
@@ -32,16 +48,18 @@ pub struct SimCounters {
 /// [`Ctx`] can borrow the world mutably while one agent is being invoked.
 pub struct SimCore {
     pub(crate) now: Time,
-    heap: BinaryHeap<Event>,
+    queue: EventQueue,
     next_seq: u64,
     next_packet_id: u64,
-    next_timer_id: u64,
-    cancelled_timers: HashSet<u64>,
+    timers: TimerSlab,
+    packets: PacketSlab,
     pub(crate) links: Vec<LinkState>,
     num_nodes: u32,
     routes: RoutingTable,
     routes_dirty: bool,
-    port_map: HashMap<Addr, AgentId>,
+    /// Per-node port tables, sorted by port for binary search. Indexed by
+    /// `NodeId`; replaces the old global `HashMap<Addr, AgentId>`.
+    ports: Vec<Vec<(u16, AgentId)>>,
     pub(crate) rng: SmallRng,
     /// Running counters.
     pub counters: SimCounters,
@@ -54,28 +72,26 @@ impl SimCore {
     fn schedule(&mut self, at: Time, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Event { at, seq, kind });
+        self.queue.push(Event { at, seq, kind });
     }
 
-    pub(crate) fn set_timer(&mut self, addr: Addr, delay: TimeDelta, token: u64) -> TimerId {
-        let timer_id = self.next_timer_id;
-        self.next_timer_id += 1;
-        let agent = *self.port_map.get(&addr).unwrap_or_else(|| {
-            panic!("timer set from address {addr}, but no agent is registered there")
-        });
-        self.schedule(
-            self.now.saturating_add(delay),
-            EventKind::Timer {
-                agent,
-                token,
-                timer_id,
-            },
-        );
-        TimerId(timer_id)
+    /// Agent registered at `addr`, via the dense per-node port table.
+    fn resolve_port(&self, addr: Addr) -> Option<AgentId> {
+        let table = self.ports.get(addr.node.0 as usize)?;
+        table
+            .binary_search_by_key(&addr.port, |&(p, _)| p)
+            .ok()
+            .map(|i| table[i].1)
+    }
+
+    pub(crate) fn set_timer(&mut self, agent: AgentId, delay: TimeDelta, token: u64) -> TimerId {
+        let key = self.timers.insert(agent, token);
+        self.schedule(self.now.saturating_add(delay), EventKind::Timer { key });
+        TimerId(key.0)
     }
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
-        self.cancelled_timers.insert(id.0);
+        self.timers.cancel(TimerKey(id.0));
     }
 
     /// Injects a packet from `src` toward `dst`, routing it over the
@@ -98,64 +114,91 @@ impl SimCore {
             size,
             kind: PacketEventKind::Sent,
         });
-        let pkt = Packet {
-            id,
-            src,
-            dst,
-            size,
-            flow,
-            sent_at: self.now,
-            payload,
-        };
-        self.route_packet(src.node, pkt);
+        // Resolve the destination agent once, here; every hop after this
+        // is pure index arithmetic.
+        let dst_agent = self.resolve_port(dst);
+        let key = self.packets.insert(
+            Packet {
+                id,
+                src,
+                dst,
+                size,
+                flow,
+                sent_at: self.now,
+                payload,
+            },
+            dst_agent,
+        );
+        self.route_packet(src.node, key);
         id
     }
 
-    /// Routes `pkt` sitting at `node`: local delivery or next-hop enqueue.
-    fn route_packet(&mut self, node: NodeId, pkt: Packet) {
-        if pkt.dst.node == node {
-            match self.port_map.get(&pkt.dst) {
-                Some(&agent) => {
+    /// Routes the packet behind `key`, sitting at `node`: local delivery
+    /// or next-hop enqueue. Consumes the key on drop/loss paths.
+    fn route_packet(&mut self, node: NodeId, key: PacketKey) {
+        let (dst, id, flow, size) = {
+            let pkt = self.packets.get(key);
+            (pkt.dst, pkt.id, pkt.flow, pkt.size)
+        };
+        if dst.node == node {
+            // Send-time resolution, with a lookup fallback so an agent
+            // registered while the packet was in flight still receives it
+            // (matching the old resolve-at-arrival semantics).
+            match self.packets.dst_agent(key).or_else(|| self.resolve_port(dst)) {
+                Some(agent) => {
                     self.trace.record(PacketEvent {
-                        at: self.now,
-                        packet_id: pkt.id,
-                        flow: pkt.flow,
-                        size: pkt.size,
-                        kind: PacketEventKind::Delivered,
-                    });
-                    self.schedule(self.now, EventKind::Deliver { agent, packet: pkt })
-                }
-                None => self.counters.packets_unroutable += 1,
-            }
-            return;
-        }
-        match self.routes.next_hop(node, pkt.dst.node) {
-            Some(link_id) => {
-                let link = &mut self.links[link_id.0 as usize];
-                let (id, flow, size) = (pkt.id, pkt.flow, pkt.size);
-                let outcome = link.enqueue(pkt, &mut self.rng);
-                let (queued_bytes, queue_len) = (link.queued_bytes(), link.queue_len());
-                self.trace.telemetry.emit_with(self.now, u64::from(flow.0), || {
-                    iq_telemetry::TelemetryEvent::QueueDepth {
-                        link: u64::from(link_id.0),
-                        queued_bytes: u64::from(queued_bytes),
-                        queue_len: queue_len as u64,
-                        dropped: matches!(outcome, Enqueue::Dropped),
-                    }
-                });
-                match outcome {
-                    Enqueue::StartTx => self.start_next_tx(link_id),
-                    Enqueue::Queued => {}
-                    Enqueue::Dropped => self.trace.record(PacketEvent {
                         at: self.now,
                         packet_id: id,
                         flow,
                         size,
-                        kind: PacketEventKind::DroppedAtQueue(link_id),
-                    }),
+                        kind: PacketEventKind::Delivered,
+                    });
+                    self.schedule(self.now, EventKind::Deliver { agent, packet: key })
+                }
+                None => {
+                    self.counters.packets_unroutable += 1;
+                    self.packets.take(key);
                 }
             }
-            None => self.counters.packets_unroutable += 1,
+            return;
+        }
+        match self.routes.next_hop(node, dst.node) {
+            Some(link_id) => {
+                let link = &mut self.links[link_id.0 as usize];
+                let outcome = link.enqueue(key, size, &mut self.rng);
+                if self.trace.telemetry.is_enabled() {
+                    // Fast exit: with the bus detached this block (and its
+                    // queue-depth math) costs one branch.
+                    let link = &self.links[link_id.0 as usize];
+                    let (queued_bytes, queue_len) = (link.queued_bytes(), link.queue_len());
+                    self.trace.telemetry.emit_with(self.now, u64::from(flow.0), || {
+                        iq_telemetry::TelemetryEvent::QueueDepth {
+                            link: u64::from(link_id.0),
+                            queued_bytes: u64::from(queued_bytes),
+                            queue_len: queue_len as u64,
+                            dropped: matches!(outcome, Enqueue::Dropped),
+                        }
+                    });
+                }
+                match outcome {
+                    Enqueue::StartTx => self.start_next_tx(link_id),
+                    Enqueue::Queued => {}
+                    Enqueue::Dropped => {
+                        self.trace.record(PacketEvent {
+                            at: self.now,
+                            packet_id: id,
+                            flow,
+                            size,
+                            kind: PacketEventKind::DroppedAtQueue(link_id),
+                        });
+                        self.packets.take(key);
+                    }
+                }
+            }
+            None => {
+                self.counters.packets_unroutable += 1;
+                self.packets.take(key);
+            }
         }
     }
 
@@ -163,10 +206,10 @@ impl SimCore {
     /// and far-end arrival, applying the link's loss/jitter model.
     fn start_next_tx(&mut self, link_id: LinkId) {
         let link = &mut self.links[link_id.0 as usize];
-        let Some(pkt) = link.begin_tx() else {
+        let Some(q) = link.begin_tx() else {
             return; // transmitter went idle
         };
-        let tx_done = self.now + link.tx_time(&pkt);
+        let tx_done = self.now + link.tx_time(q.size);
         let mut arrival = link.arrival_time(tx_done);
         let lost = link.spec.random_loss > 0.0 && self.rng.gen::<f64>() < link.spec.random_loss;
         if link.spec.jitter > 0 {
@@ -174,6 +217,7 @@ impl SimCore {
         }
         if lost {
             self.links[link_id.0 as usize].stats.random_losses += 1;
+            let pkt = self.packets.take(q.key);
             self.trace.record(PacketEvent {
                 at: self.now,
                 packet_id: pkt.id,
@@ -186,7 +230,7 @@ impl SimCore {
                 arrival,
                 EventKind::LinkArrival {
                     link: link_id,
-                    packet: pkt,
+                    packet: q.key,
                 },
             );
         }
@@ -209,16 +253,16 @@ impl Simulator {
         Self {
             core: SimCore {
                 now: 0,
-                heap: BinaryHeap::new(),
+                queue: EventQueue::new(),
                 next_seq: 0,
                 next_packet_id: 0,
-                next_timer_id: 0,
-                cancelled_timers: HashSet::new(),
+                timers: TimerSlab::default(),
+                packets: PacketSlab::default(),
                 links: Vec::new(),
                 num_nodes: 0,
                 routes: RoutingTable::default(),
                 routes_dirty: false,
-                port_map: HashMap::new(),
+                ports: Vec::new(),
                 rng: SmallRng::seed_from_u64(seed),
                 counters: SimCounters::default(),
                 trace: TraceCollector::default(),
@@ -233,6 +277,7 @@ impl Simulator {
     pub fn add_node(&mut self) -> NodeId {
         let id = NodeId(self.core.num_nodes);
         self.core.num_nodes += 1;
+        self.core.ports.push(Vec::new());
         self.core.routes_dirty = true;
         id
     }
@@ -279,8 +324,11 @@ impl Simulator {
             self.core.num_nodes
         );
         let id = AgentId(self.agents.len() as u32);
-        let prev = self.core.port_map.insert(addr, id);
-        assert!(prev.is_none(), "address {addr} already has an agent");
+        let table = &mut self.core.ports[node.0 as usize];
+        match table.binary_search_by_key(&port, |&(p, _)| p) {
+            Ok(_) => panic!("address {addr} already has an agent"),
+            Err(pos) => table.insert(pos, (port, id)),
+        }
         self.agents.push(Some(agent));
         self.agent_addrs.push(addr);
         self.core.schedule(self.core.now, EventKind::Start { agent: id });
@@ -376,28 +424,34 @@ impl Simulator {
     }
 
     fn dispatch(&mut self, agent: AgentId, f: impl FnOnce(&mut dyn Agent, &mut Ctx<'_>)) {
-        let slot = &mut self.agents[agent.0 as usize];
-        let Some(mut boxed) = slot.take() else {
-            // Re-entrant dispatch cannot happen in a single-threaded loop;
-            // a missing agent means it was removed.
+        // Split borrow: the agent box and `self.core` are disjoint
+        // fields, and a handler only sees `Ctx` (built from `core`), so
+        // it can never reach its own slot. A `None` slot means the agent
+        // was removed.
+        let Some(boxed) = &mut self.agents[agent.0 as usize] else {
             return;
         };
-        let addr = self.agent_addrs[agent.0 as usize];
-        {
-            let mut ctx = Ctx {
-                core: &mut self.core,
-                addr,
-            };
-            f(boxed.as_mut(), &mut ctx);
-        }
-        self.agents[agent.0 as usize] = Some(boxed);
+        let mut ctx = Ctx {
+            core: &mut self.core,
+            addr: self.agent_addrs[agent.0 as usize],
+            agent,
+        };
+        f(boxed.as_mut(), &mut ctx);
     }
 
-    /// Executes a single event. Returns `false` when the heap is empty.
+    /// Executes a single event. Returns `false` when the queue is empty.
     fn step(&mut self) -> bool {
-        let Some(ev) = self.core.heap.pop() else {
-            return false;
-        };
+        match self.core.queue.pop() {
+            Some(ev) => {
+                self.exec_event(ev);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Advances the clock to `ev.at` and runs its handler.
+    fn exec_event(&mut self, ev: Event) {
         debug_assert!(ev.at >= self.core.now, "time went backwards");
         self.core.now = ev.at;
         self.core.counters.events_processed += 1;
@@ -407,14 +461,12 @@ impl Simulator {
             }
             EventKind::Deliver { agent, packet } => {
                 self.core.counters.packets_delivered += 1;
-                self.dispatch(agent, |a, ctx| a.on_packet(ctx, packet));
+                let pkt = self.core.packets.take(packet);
+                self.dispatch(agent, |a, ctx| a.on_packet(ctx, pkt));
             }
-            EventKind::Timer {
-                agent,
-                token,
-                timer_id,
-            } => {
-                if !self.core.cancelled_timers.remove(&timer_id) {
+            EventKind::Timer { key } => {
+                // Ghost events from cancelled timers resolve to None.
+                if let Some((agent, token)) = self.core.timers.fire(key) {
                     self.core.counters.timers_fired += 1;
                     self.dispatch(agent, |a, ctx| a.on_timer(ctx, token));
                 }
@@ -427,7 +479,6 @@ impl Simulator {
                 self.core.route_packet(node, packet);
             }
         }
-        true
     }
 
     /// Runs until the event queue drains, `deadline` passes, or an agent
@@ -436,11 +487,9 @@ impl Simulator {
         self.ensure_routes();
         self.core.stopped = false;
         while !self.core.stopped {
-            match self.core.heap.peek() {
-                Some(ev) if ev.at <= deadline => {
-                    self.step();
-                }
-                _ => break,
+            match self.core.queue.pop_before(deadline) {
+                Some(ev) => self.exec_event(ev),
+                None => break,
             }
         }
         if !self.core.stopped {
@@ -636,6 +685,150 @@ mod tests {
     }
 
     #[test]
+    fn timer_state_stays_bounded_across_set_cancel_fire_cycles() {
+        // Regression test for the old `cancelled_timers: HashSet<u64>`
+        // leak: ids of cancelled (or never-firing) timers accumulated
+        // forever. The slab recycles slots, so memory tracks *concurrent*
+        // timers, not total ever armed.
+        struct Churner {
+            cycles: u32,
+            pending: Option<TimerId>,
+        }
+        impl Agent for Churner {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                ctx.set_timer(MILLISECOND, 0);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+            fn on_timer(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+                if token == 0 && self.cycles > 0 {
+                    self.cycles -= 1;
+                    // One timer that fires, one that is always cancelled.
+                    if let Some(t) = self.pending.take() {
+                        ctx.cancel_timer(t);
+                    }
+                    self.pending = Some(ctx.set_timer(millis(500), 1));
+                    ctx.set_timer(MILLISECOND, 0);
+                }
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let n = sim.add_node();
+        sim.add_agent(
+            n,
+            1,
+            Box::new(Churner {
+                cycles: 5_000,
+                pending: None,
+            }),
+        );
+        sim.run_to_completion();
+        assert!(
+            sim.core.timers.capacity() <= 4,
+            "timer slab grew to {} slots over 10k set/cancel/fire cycles",
+            sim.core.timers.capacity()
+        );
+    }
+
+    #[test]
+    fn packet_slab_recycles_and_ids_stay_unique() {
+        // 50 sequential packets through a 2-node link: the slab should
+        // reuse a handful of slots while packet ids keep incrementing.
+        let mut sim = Simulator::new(3);
+        sim.enable_packet_log(10_000);
+        let (mut sim, _tx, rx) = {
+            let a = sim.add_node();
+            let b = sim.add_node();
+            sim.add_duplex_link(a, b, LinkSpec::new(8e6, millis(1), 100_000));
+            let tx = sim.add_agent(
+                a,
+                1,
+                Box::new(Blaster {
+                    dst: Addr::new(b, 2),
+                    count: 50,
+                    size: 1000,
+                    sent: 0,
+                }),
+            );
+            let rx = sim.add_agent(b, 2, Box::new(Recorder::default()));
+            (sim, tx, rx)
+        };
+        sim.run_to_completion();
+        assert_eq!(sim.agent::<Recorder>(rx).unwrap().arrivals.len(), 50);
+        // Slab bounded by peak in-flight, not total sent.
+        assert!(
+            sim.core.packets.capacity() < 10,
+            "packet slab grew to {} slots for 50 sequential sends",
+            sim.core.packets.capacity()
+        );
+        assert_eq!(sim.core.packets.live(), 0, "all slots released");
+        // Ids remain unique across slot reuse, and the packet log saw
+        // every send exactly once.
+        use crate::trace::PacketEventKind as K;
+        let mut sent_ids: Vec<u64> = sim
+            .packet_log()
+            .iter()
+            .filter(|e| matches!(e.kind, K::Sent))
+            .map(|e| e.packet_id)
+            .collect();
+        assert_eq!(sent_ids.len(), 50);
+        sent_ids.sort_unstable();
+        sent_ids.dedup();
+        assert_eq!(sent_ids.len(), 50, "packet ids reused");
+    }
+
+    #[test]
+    fn delivered_payload_is_shared_not_copied() {
+        // The slab parks packets by value; delivery must hand back the
+        // same Arc the sender supplied (and clones keep sharing it).
+        use std::sync::Arc;
+
+        struct ArcSender {
+            dst: Addr,
+            sent: Option<Payload>,
+        }
+        impl Agent for ArcSender {
+            fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+                let p = Payload::from_arc(Arc::new(String::from("shared")));
+                self.sent = Some(p.clone());
+                ctx.send(self.dst, 500, FlowId(1), p);
+            }
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, _pkt: Packet) {}
+        }
+        #[derive(Default)]
+        struct Keeper {
+            got: Option<Packet>,
+        }
+        impl Agent for Keeper {
+            fn on_packet(&mut self, _ctx: &mut Ctx<'_>, pkt: Packet) {
+                let dup = pkt.clone();
+                assert!(Payload::ptr_eq(&pkt.payload, &dup.payload));
+                self.got = Some(pkt);
+            }
+        }
+        let mut sim = Simulator::new(0);
+        let a = sim.add_node();
+        let b = sim.add_node();
+        sim.add_duplex_link(a, b, LinkSpec::new(8e6, millis(1), 100_000));
+        let tx = sim.add_agent(
+            a,
+            1,
+            Box::new(ArcSender {
+                dst: Addr::new(b, 2),
+                sent: None,
+            }),
+        );
+        let rx = sim.add_agent(b, 2, Box::new(Keeper::default()));
+        sim.run_to_completion();
+        let sent = sim.agent::<ArcSender>(tx).unwrap().sent.clone().unwrap();
+        let got = sim.agent::<Keeper>(rx).unwrap().got.as_ref().unwrap();
+        assert!(
+            Payload::ptr_eq(&sent, &got.payload),
+            "payload was copied somewhere between send and delivery"
+        );
+        assert_eq!(got.payload_as::<String>().unwrap(), "shared");
+    }
+
+    #[test]
     fn identical_seeds_give_identical_runs() {
         let run = |seed| {
             let mut sim = Simulator::new(seed);
@@ -764,6 +957,7 @@ mod tests {
         sim.add_agent(n, 1, Box::new(SendToNowhere));
         sim.run_until(millis(1));
         assert_eq!(sim.counters().packets_unroutable, 1);
+        assert_eq!(sim.core.packets.live(), 0, "unroutable packet leaked");
     }
 
     #[test]

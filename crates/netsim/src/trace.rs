@@ -6,8 +6,6 @@
 //! opt-in via [`crate::Simulator::enable_packet_log`] because a long run
 //! can produce millions of events.
 
-use std::collections::HashMap;
-
 use iq_telemetry::{PacketKind, TelemetryEvent, TelemetrySink};
 
 use crate::packet::{FlowId, LinkId};
@@ -71,7 +69,12 @@ pub struct PacketEvent {
 /// Collects flow counters and (optionally) packet events.
 #[derive(Debug, Default)]
 pub struct TraceCollector {
-    flows: HashMap<FlowId, FlowStats>,
+    /// Per-flow counters in first-seen order. A simulation has a handful
+    /// of flows, so a linear scan beats hashing on every packet event.
+    flows: Vec<(FlowId, FlowStats)>,
+    /// Index of the flow touched by the previous event: packet events
+    /// arrive in bursts per flow, so this usually skips the scan.
+    last_flow: usize,
     log: Vec<PacketEvent>,
     log_capacity: usize,
     /// Events that arrived after the log filled.
@@ -88,9 +91,28 @@ impl TraceCollector {
         self.log.reserve(capacity.min(1 << 20));
     }
 
+    /// Counters slot for `flow`, creating it on first sight.
+    #[inline]
+    fn flow_mut(&mut self, flow: FlowId) -> &mut FlowStats {
+        if let Some(&(f, _)) = self.flows.get(self.last_flow) {
+            if f == flow {
+                return &mut self.flows[self.last_flow].1;
+            }
+        }
+        let idx = match self.flows.iter().position(|&(f, _)| f == flow) {
+            Some(i) => i,
+            None => {
+                self.flows.push((flow, FlowStats::default()));
+                self.flows.len() - 1
+            }
+        };
+        self.last_flow = idx;
+        &mut self.flows[idx].1
+    }
+
     #[inline]
     pub(crate) fn record(&mut self, ev: PacketEvent) {
-        let f = self.flows.entry(ev.flow).or_default();
+        let f = self.flow_mut(ev.flow);
         match ev.kind {
             PacketEventKind::Sent => {
                 f.sent_packets += 1;
@@ -128,12 +150,16 @@ impl TraceCollector {
 
     /// Counters for one flow (zeroes if never seen).
     pub fn flow(&self, flow: FlowId) -> FlowStats {
-        self.flows.get(&flow).copied().unwrap_or_default()
+        self.flows
+            .iter()
+            .find(|&&(f, _)| f == flow)
+            .map(|&(_, s)| s)
+            .unwrap_or_default()
     }
 
-    /// All flows seen so far.
+    /// All flows seen so far, in first-seen (deterministic) order.
     pub fn flows(&self) -> impl Iterator<Item = (FlowId, &FlowStats)> {
-        self.flows.iter().map(|(&k, v)| (k, v))
+        self.flows.iter().map(|(k, v)| (*k, v))
     }
 
     /// The recorded events (empty unless enabled).

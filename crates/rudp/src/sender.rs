@@ -98,6 +98,10 @@ pub struct SenderConn {
     stats: SenderStats,
     telemetry: TelemetrySink,
     telemetry_flow: u64,
+    /// Reused sequence-number buffer for the ACK-processing phases
+    /// (cumulative, selective, loss detection), so the per-ACK hot path
+    /// does not allocate in steady state.
+    scratch_seqs: Vec<u64>,
 }
 
 impl SenderConn {
@@ -132,6 +136,7 @@ impl SenderConn {
             stats: SenderStats::default(),
             telemetry: TelemetrySink::disabled(),
             telemetry_flow: 0,
+            scratch_seqs: Vec::new(),
         }
     }
 
@@ -342,43 +347,45 @@ impl SenderConn {
         // The receiver may have re-adapted its reliability requirement.
         self.peer_tolerance = ack.loss_tolerance;
 
+        // One scratch buffer serves all three phases below; taking it out
+        // of `self` keeps the borrow checker happy while `inflight` is
+        // mutated, and putting it back preserves its capacity so
+        // steady-state ACK processing never allocates.
+        let mut seqs = std::mem::take(&mut self.scratch_seqs);
+
         // Cumulative: everything below cum_ack is done at the receiver.
-        let cum_done: Vec<u64> = self
-            .inflight
-            .range(..ack.cum_ack)
-            .map(|(&s, _)| s)
-            .collect();
-        for seq in cum_done {
+        seqs.clear();
+        seqs.extend(self.inflight.range(..ack.cum_ack).map(|(&s, _)| s));
+        for &seq in &seqs {
             let e = self.inflight.remove(&seq).expect("seq in range");
             self.note_acked(&e);
         }
         // Selective: ranges above cum_ack.
         for &(start, end) in &ack.sack {
-            let sacked: Vec<u64> = self
-                .inflight
-                .range(start..end)
-                .map(|(&s, _)| s)
-                .collect();
-            for seq in sacked {
+            seqs.clear();
+            seqs.extend(self.inflight.range(start..end).map(|(&s, _)| s));
+            for &seq in &seqs {
                 let e = self.inflight.remove(&seq).expect("seq in range");
                 self.note_acked(&e);
             }
         }
         // Loss detection: anything still in flight below the highest
         // sequence the receiver has seen gathers a dup hint per ACK.
-        let mut newly_lost = Vec::new();
+        seqs.clear();
         for (&seq, entry) in self.inflight.range_mut(..ack.highest_seen) {
             if entry.lost_pending {
                 continue;
             }
             entry.dup_hint += 1;
             if entry.dup_hint >= self.cfg.dupack_threshold {
-                newly_lost.push(seq);
+                seqs.push(seq);
             }
         }
-        for seq in newly_lost {
+        for &seq in &seqs {
             self.on_segment_lost(now, seq);
         }
+
+        self.scratch_seqs = seqs;
     }
 
     fn note_acked(&mut self, e: &InFlight) {

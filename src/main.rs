@@ -4,9 +4,15 @@
 //! iqrudp [FLAGS] tables [SIZE] [t1..t8]     regenerate the paper's tables
 //! iqrudp [FLAGS] figures [SIZE]             regenerate the figures (+ SVGs)
 //! iqrudp [FLAGS] ablations [SIZE]           run the design-choice ablations
+//! iqrudp [FLAGS] bench [SIZE] [OPTS]        measure simulator throughput
 //! iqrudp trace [FRAMES] [SEED]              dump a membership trace as TSV
 //! iqrudp demo                               one coordinated flow, annotated
 //! ```
+//!
+//! `bench` runs a fixed scenario sweep and writes `BENCH_netsim.json`
+//! (events/sec, wall time per scenario, peak RSS). Options: `--out PATH`,
+//! `--label STR`, `--check PATH` (fail when events/sec regresses more
+//! than `--max-regress FRAC`, default 0.20, against the committed file).
 //!
 //! `SIZE` scales the experiment workloads (1.0 = paper scale). Flags:
 //!
@@ -94,6 +100,63 @@ fn cmd_figures(args: &[String]) {
         ),
     );
     println!("wrote figures/*.svg");
+}
+
+fn cmd_bench(args: &[String]) {
+    use iq_experiments::BenchOptions;
+    let mut opts = BenchOptions::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => opts.out_path = p.clone(),
+                None => die("--out requires a path"),
+            },
+            "--label" => match it.next() {
+                Some(l) => opts.label = l.clone(),
+                None => die("--label requires a string"),
+            },
+            "--check" => match it.next() {
+                Some(p) => opts.check_path = Some(p.clone()),
+                None => die("--check requires a path"),
+            },
+            "--max-regress" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(f) => opts.max_regress = f,
+                None => die("--max-regress requires a fraction (e.g. 0.2)"),
+            },
+            other => match other.parse::<f64>() {
+                Ok(s) if s > 0.0 => opts.size = Size(s),
+                _ => die(&format!("bench: unknown argument `{other}`")),
+            },
+        }
+    }
+    match iq_experiments::bench_main(&opts) {
+        Ok(run) => {
+            println!(
+                "bench: {} events in {:.2}s = {:.0} events/s (peak RSS {:.1} MiB); wrote {}",
+                run.total_events,
+                run.total_wall_s,
+                run.total_events_per_sec,
+                run.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+                opts.out_path,
+            );
+            for sc in &run.scenarios {
+                println!(
+                    "  {:<16} {:>10} events  {:>8.3}s  {:>12.0} events/s",
+                    sc.name, sc.events, sc.wall_s, sc.events_per_sec
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("bench: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
 }
 
 fn cmd_trace(args: &[String]) {
@@ -233,6 +296,7 @@ fn main() {
             let size = parse_size(&args[1..], 0);
             println!("{}", run_all_ablations(size));
         }
+        Some("bench") => cmd_bench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("demo") => cmd_demo(),
         _ => {
@@ -240,7 +304,8 @@ fn main() {
                 "usage: iqrudp [-j N] [--verify-determinism] [--no-timing] \
                  [--telemetry DIR] \
                  <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
-                 trace [FRAMES] [SEED] | demo>"
+                 bench [SIZE] [--out PATH] [--label STR] [--check PATH] \
+                 [--max-regress FRAC] | trace [FRAMES] [SEED] | demo>"
             );
             std::process::exit(2);
         }
