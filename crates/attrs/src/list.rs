@@ -3,7 +3,7 @@
 
 use std::borrow::Cow;
 
-
+use crate::names::{intern, SYM_NONE};
 use crate::value::AttrValue;
 
 /// An attribute name; usually one of the constants in [`crate::names`].
@@ -12,10 +12,20 @@ pub type AttrName = Cow<'static, str>;
 /// An ordered list of `<name, value>` tuples.
 ///
 /// Lists are small (a handful of entries), so lookups are linear; the
-/// last write to a name wins.
-#[derive(Debug, Clone, Default, PartialEq)]
+/// last write to a name wins. Each entry carries the interned symbol of
+/// its name (see [`crate::names::intern`]) so lookups by a well-known
+/// name compare one `u16` per entry instead of strings.
+#[derive(Debug, Clone, Default)]
 pub struct AttrList {
-    entries: Vec<(AttrName, AttrValue)>,
+    entries: Vec<(u16, AttrName, AttrValue)>,
+}
+
+/// True when an entry tagged `(sym, entry_name)` matches a query
+/// `(query_sym, query_name)`: interned symbols decide alone, unknown
+/// names fall back to string equality.
+#[inline]
+fn matches(entry_sym: u16, entry_name: &str, query_sym: u16, query_name: &str) -> bool {
+    entry_sym == query_sym && (query_sym != SYM_NONE || entry_name == query_name)
 }
 
 impl AttrList {
@@ -34,20 +44,22 @@ impl AttrList {
     pub fn set(&mut self, name: impl Into<AttrName>, value: impl Into<AttrValue>) {
         let name = name.into();
         let value = value.into();
-        for (n, v) in &mut self.entries {
-            if *n == name {
+        let sym = intern(&name);
+        for (s, n, v) in &mut self.entries {
+            if matches(*s, n, sym, &name) {
                 *v = value;
                 return;
             }
         }
-        self.entries.push((name, value));
+        self.entries.push((sym, name, value));
     }
 
     /// Looks up `name`.
     pub fn get(&self, name: &str) -> Option<&AttrValue> {
+        let sym = intern(name);
         self.entries
             .iter()
-            .find_map(|(n, v)| (n == name).then_some(v))
+            .find_map(|(s, n, v)| matches(*s, n, sym, name).then_some(v))
     }
 
     /// Float view of `name`, if present and numeric.
@@ -67,8 +79,12 @@ impl AttrList {
 
     /// Removes `name`, returning its value if it was present.
     pub fn remove(&mut self, name: &str) -> Option<AttrValue> {
-        let idx = self.entries.iter().position(|(n, _)| n == name)?;
-        Some(self.entries.remove(idx).1)
+        let sym = intern(name);
+        let idx = self
+            .entries
+            .iter()
+            .position(|(s, n, _)| matches(*s, n, sym, name))?;
+        Some(self.entries.remove(idx).2)
     }
 
     /// Whether `name` is present.
@@ -88,14 +104,37 @@ impl AttrList {
 
     /// Iterates over `(name, value)` pairs in insertion order.
     pub fn iter(&self) -> impl Iterator<Item = (&str, &AttrValue)> {
-        self.entries.iter().map(|(n, v)| (n.as_ref(), v))
+        self.entries.iter().map(|(_, n, v)| (n.as_ref(), v))
     }
 
     /// Merges `other` into `self`; `other`'s values win on conflict.
+    ///
+    /// Entries are matched by their already-interned symbols (strings
+    /// only when both sides are unknown names) and names are cloned only
+    /// when an entry is actually inserted, not once per probe.
     pub fn merge(&mut self, other: &AttrList) {
-        for (n, v) in &other.entries {
-            self.set(n.clone(), v.clone());
+        self.entries.reserve(other.entries.len());
+        'outer: for (sym, name, value) in &other.entries {
+            for (s, n, v) in &mut self.entries {
+                if matches(*s, n, *sym, name) {
+                    *v = value.clone();
+                    continue 'outer;
+                }
+            }
+            self.entries.push((*sym, name.clone(), value.clone()));
         }
+    }
+}
+
+// Symbols are derived from names, so equality is name/value equality.
+impl PartialEq for AttrList {
+    fn eq(&self, other: &Self) -> bool {
+        self.entries.len() == other.entries.len()
+            && self
+                .entries
+                .iter()
+                .zip(&other.entries)
+                .all(|((_, an, av), (_, bn, bv))| an == bn && av == bv)
     }
 }
 
@@ -140,6 +179,31 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.get_int("k"), Some(9));
         assert_eq!(a.get_int("only-a"), Some(2));
+    }
+
+    #[test]
+    fn merge_matches_interned_and_unknown_names() {
+        let mut a = AttrList::new()
+            .with(names::NET_RTT_MS, 10.0)
+            .with("custom", 1i64);
+        let mut b = AttrList::new();
+        // Heap-allocated copies of the names: must still match by symbol
+        // (well-known) and by string (unknown).
+        b.set(names::NET_RTT_MS.to_string(), 25.0);
+        b.set("custom".to_string(), 2i64);
+        b.set(names::NET_CWND, 4i64);
+        a.merge(&b);
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.get_float(names::NET_RTT_MS), Some(25.0));
+        assert_eq!(a.get_int("custom"), Some(2));
+        assert_eq!(a.get_int(names::NET_CWND), Some(4));
+    }
+
+    #[test]
+    fn lookup_by_heap_copy_of_known_name() {
+        let l = AttrList::new().with(names::NET_ERROR_RATIO, 0.1);
+        let key = String::from("NET_ERROR_RATIO");
+        assert_eq!(l.get_float(&key), Some(0.1));
     }
 
     #[test]

@@ -47,3 +47,67 @@ pub const CB_ERATIO_UPPER: &str = "CB_ERATIO_UPPER";
 
 /// Callback registration: lower error-ratio threshold (`f64`).
 pub const CB_ERATIO_LOWER: &str = "CB_ERATIO_LOWER";
+
+/// Every well-known name, in symbol order: `ALL[sym as usize]` recovers
+/// the string for an interned symbol.
+pub const ALL: [&str; 13] = [
+    ADAPT_FREQ,
+    ADAPT_MARK,
+    ADAPT_PKTSIZE,
+    ADAPT_WHEN,
+    ADAPT_COND_ERATIO,
+    ADAPT_COND_RATE,
+    NET_ERROR_RATIO,
+    NET_RTT_MS,
+    NET_CWND,
+    NET_RATE_KBPS,
+    RELIABILITY_TOLERANCE,
+    CB_ERATIO_UPPER,
+    CB_ERATIO_LOWER,
+];
+
+/// Symbol id meaning "not a well-known name" (fall back to string
+/// comparison).
+pub const SYM_NONE: u16 = u16::MAX;
+
+/// Interns `name` to a small symbol id, or [`SYM_NONE`] for names not in
+/// [`ALL`].
+///
+/// Callers that pass the `names::*` constants hit the pointer-equality
+/// fast path: the `&'static str`s in `ALL` are the same statics the
+/// constants reference, so no bytes are compared on the hot path
+/// (attribute export runs once per measuring period per connection).
+pub fn intern(name: &str) -> u16 {
+    for (i, known) in ALL.iter().enumerate() {
+        if std::ptr::eq(name as *const str, *known as *const str) {
+            return i as u16;
+        }
+    }
+    for (i, known) in ALL.iter().enumerate() {
+        if name == *known {
+            return i as u16;
+        }
+    }
+    SYM_NONE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_roundtrips_every_known_name() {
+        for (i, name) in ALL.iter().enumerate() {
+            assert_eq!(intern(name), i as u16);
+            // A heap copy (different pointer) must intern identically.
+            let heap = String::from(*name);
+            assert_eq!(intern(&heap), i as u16);
+        }
+    }
+
+    #[test]
+    fn intern_rejects_unknown_names() {
+        assert_eq!(intern("NOT_A_REAL_ATTR"), SYM_NONE);
+        assert_eq!(intern(""), SYM_NONE);
+    }
+}

@@ -244,15 +244,23 @@ impl Coordinator {
     /// embedding agent forwards threshold events to the application's
     /// registered callbacks.
     pub fn take_events(&mut self, conn: &mut SenderConn) -> Vec<ConnEvent> {
-        let events = conn.take_events();
+        let mut events = Vec::new();
+        self.take_events_into(conn, &mut events);
+        events
+    }
+
+    /// Allocation-free variant of [`Coordinator::take_events`]: swaps the
+    /// drained events into `out` (clearing it first) so a caller-owned
+    /// scratch buffer can be reused across polls.
+    pub fn take_events_into(&mut self, conn: &mut SenderConn, out: &mut Vec<ConnEvent>) {
+        conn.take_events_into(out);
         if let Some(service) = &self.attrs {
-            for ev in &events {
+            for ev in out.iter() {
                 if let ConnEvent::PeriodEnded(cond) = ev {
                     export_net_cond(service, cond);
                 }
             }
         }
-        events
     }
 }
 

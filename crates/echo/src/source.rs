@@ -132,6 +132,7 @@ pub struct AdaptiveSourceAgent {
     last_lower_adapt: Option<Time>,
     /// Per-period network-condition history.
     pub period_log: Vec<NetCond>,
+    events_scratch: Vec<ConnEvent>,
     finished: bool,
 }
 
@@ -159,6 +160,7 @@ impl AdaptiveSourceAgent {
             last_upper_adapt: None,
             last_lower_adapt: None,
             period_log: Vec::new(),
+            events_scratch: Vec::new(),
             finished: false,
         }
     }
@@ -250,7 +252,12 @@ impl AdaptiveSourceAgent {
     }
 
     fn process_events(&mut self, now: Time) {
-        for ev in self.coordinator.take_events(&mut self.driver.conn) {
+        // Reuse one scratch buffer across polls; take it out of `self`
+        // so the loop body may call `&mut self` handlers.
+        let mut events = std::mem::take(&mut self.events_scratch);
+        self.coordinator
+            .take_events_into(&mut self.driver.conn, &mut events);
+        for ev in events.drain(..) {
             match ev {
                 ConnEvent::UpperThreshold(c) => self.on_threshold(now, true, c),
                 ConnEvent::LowerThreshold(c) => self.on_threshold(now, false, c),
@@ -258,6 +265,7 @@ impl AdaptiveSourceAgent {
                 _ => {}
             }
         }
+        self.events_scratch = events;
     }
 
     /// Emits one frame; returns `false` when the schedule is exhausted.

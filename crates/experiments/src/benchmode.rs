@@ -65,6 +65,9 @@ pub struct BenchScenario {
     pub wall_s: f64,
     /// Events per second of host time.
     pub events_per_sec: f64,
+    /// Process peak RSS sampled when the scenario finished, bytes (a
+    /// monotone process-wide watermark, not a per-scenario footprint).
+    pub peak_rss_bytes: u64,
 }
 
 /// One full sweep measurement.
@@ -156,6 +159,12 @@ pub fn bench_specs(size: Size) -> Vec<ScenarioSpec> {
     sc.deadline_s = 900.0;
     specs.push(ScenarioSpec::new("red_lossy", sc));
 
+    // 6. Many-flow incast: hundreds of concurrent connections sharing
+    //    one bottleneck — per-connection state, ACK fan-in and timer
+    //    load that the single-flow profiles never reach.
+    let sc = Scenario::incast(200, scaled(size, 150), 1400);
+    specs.push(ScenarioSpec::new("many_flows", sc));
+
     specs
 }
 
@@ -176,6 +185,7 @@ pub fn run_bench(opts: &BenchOptions) -> BenchRun {
             events: r.result.events_processed,
             wall_s: r.wall_s,
             events_per_sec: r.events_per_sec,
+            peak_rss_bytes: r.peak_rss_bytes,
         })
         .collect();
     let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
@@ -239,11 +249,12 @@ fn render_run(run: &BenchRun, indent: &str) -> String {
     for (i, sc) in run.scenarios.iter().enumerate() {
         let comma = if i + 1 < run.scenarios.len() { "," } else { "" };
         s.push_str(&format!(
-            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}}}{comma}\n",
+            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}}}{comma}\n",
             sc.name,
             sc.events,
             fmt_f64(sc.wall_s),
-            fmt_f64(sc.events_per_sec)
+            fmt_f64(sc.events_per_sec),
+            sc.peak_rss_bytes
         ));
     }
     s.push_str(&format!("{indent}  ]\n"));
@@ -353,6 +364,27 @@ pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
                 100.0 * (ratio - 1.0),
             );
         }
+        // Memory gate: peak RSS must not grow past the same tolerance.
+        let reference_rss = extract_number(section, "peak_rss_bytes").unwrap_or(0.0);
+        if reference_rss > 0.0 && run.peak_rss_bytes > 0 {
+            let ratio = run.peak_rss_bytes as f64 / reference_rss;
+            if ratio > 1.0 + opts.max_regress {
+                return Err(format!(
+                    "peak RSS regression: {} bytes now vs {:.0} committed ({:.1}% of \
+                     reference, allowed ceiling {:.0}%)",
+                    run.peak_rss_bytes,
+                    reference_rss,
+                    100.0 * ratio,
+                    100.0 * (1.0 + opts.max_regress),
+                ));
+            }
+            eprintln!(
+                "bench check: {} peak RSS vs committed {:.0} ({:+.1}%) — ok",
+                run.peak_rss_bytes,
+                reference_rss,
+                100.0 * (ratio - 1.0),
+            );
+        }
     }
     Ok(run)
 }
@@ -371,6 +403,7 @@ mod tests {
                 events: 100,
                 wall_s: 0.25,
                 events_per_sec: 400.0,
+                peak_rss_bytes: 512,
             }],
             total_events: 100,
             total_wall_s: 0.25,
@@ -398,7 +431,14 @@ mod tests {
         let names: Vec<&str> = s.iter().map(|x| x.name.as_str()).collect();
         assert_eq!(
             names,
-            ["bulk_rudp", "coordinated_cbr", "marking_vbr", "tcp_fairness", "red_lossy"]
+            [
+                "bulk_rudp",
+                "coordinated_cbr",
+                "marking_vbr",
+                "tcp_fairness",
+                "red_lossy",
+                "many_flows"
+            ]
         );
         // Scaling floors at 40 frames so tiny sizes still run.
         assert!(s[0].scenario.frame_sizes.len() >= 40);

@@ -136,6 +136,11 @@ pub struct ScenarioReport {
     pub wall_s: f64,
     /// Simulator event throughput (events processed / wall_s).
     pub events_per_sec: f64,
+    /// Process-wide peak resident set size (`VmHWM`) sampled right after
+    /// this scenario completed, bytes. The watermark is monotone over
+    /// the process, so concurrent scenarios observe the high-water mark
+    /// of everything run so far, not a per-scenario footprint.
+    pub peak_rss_bytes: u64,
 }
 
 /// Bit-exact fingerprint of everything a scenario reports, for the
@@ -238,6 +243,7 @@ impl Executor {
                         result,
                         wall_s,
                         events_per_sec,
+                        peak_rss_bytes: crate::benchmode::peak_rss_bytes(),
                     };
                     if tx.send((i, report)).is_err() {
                         break;

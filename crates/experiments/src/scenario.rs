@@ -176,6 +176,12 @@ pub struct Scenario {
     pub cross: CrossTraffic,
     /// Simulated-time budget in seconds.
     pub deadline_s: f64,
+    /// When non-zero, run a many-flow incast instead of the single-flow
+    /// experiment: this many RUDP flows (a deterministic mix of marked,
+    /// partially unmarked, coordinated-adaptive and sparse-ACK senders)
+    /// share the bottleneck. `frame_sizes.len()` messages of
+    /// `frame_sizes[0]` bytes are offered per flow.
+    pub incast_flows: u32,
 }
 
 impl Scenario {
@@ -198,7 +204,28 @@ impl Scenario {
             red_bottleneck: false,
             cross: CrossTraffic::default(),
             deadline_s: 600.0,
+            incast_flows: 0,
         }
+    }
+
+    /// A many-flow incast: `flows` RUDP senders, each offering
+    /// `msgs_per_flow` messages of `msg_size` bytes, converging on one
+    /// widened bottleneck (the per-flow fair share stays small so the
+    /// congestion machinery is exercised, not idled).
+    pub fn incast(flows: u32, msgs_per_flow: usize, msg_size: u32) -> Self {
+        let mut sc = Self::new(
+            Scheme::Coordinated,
+            PolicySpec::Marking,
+            vec![msg_size; msgs_per_flow],
+        );
+        sc.incast_flows = flows;
+        sc.dumbbell = DumbbellSpec::paper_default(8);
+        sc.dumbbell.bottleneck_bps = 200e6;
+        sc.dumbbell.queue_bytes = 1_500_000;
+        sc.thresholds = (Some(0.10), Some(0.02));
+        sc.loss_tolerance = 0.40;
+        sc.deadline_s = 120.0;
+        sc
     }
 }
 
@@ -299,6 +326,9 @@ fn add_cross_traffic(sim: &mut Simulator, db: &Dumbbell, cross: &CrossTraffic, d
 
 /// Runs one scenario to completion (or its deadline) and reports.
 pub fn run_scenario(sc: &Scenario) -> RunResult {
+    if sc.incast_flows > 0 {
+        return run_incast(sc);
+    }
     match sc.scheme {
         Scheme::Tcp => run_tcp(sc),
         _ => run_rudp(sc),
@@ -385,6 +415,194 @@ fn run_rudp(sc: &Scenario) -> RunResult {
         events_processed,
         telemetry,
     }
+}
+
+/// Runs the many-flow incast selected by [`Scenario::incast_flows`].
+///
+/// Flows cycle deterministically through four sender classes by
+/// `flow % 4`: `0` fully marked reliable bulk, `1` a coordinated
+/// adaptive source running the §3.3 marking policy, `2` bulk with every
+/// 4th message unmarked against a loss-tolerant receiver and
+/// `discard_unmarked` coordination, `3` fully marked bulk with 4:1 ACK
+/// decimation. Flows spread round-robin over the dumbbell's host pairs;
+/// each class shares one `RudpConfig` allocation across all its flows
+/// (see [`iq_rudp::ConnBuilder::for_conn`]).
+fn run_incast(sc: &Scenario) -> RunResult {
+    let (tsink, bus) = if crate::runner::telemetry_enabled() {
+        let (s, b) = TelemetrySink::new_bus(0);
+        (s, Some(b))
+    } else {
+        (TelemetrySink::disabled(), None)
+    };
+    let mut sim = Simulator::new(sc.seed);
+    let mut dspec = sc.dumbbell.clone();
+    dspec.red_bottleneck = sc.red_bottleneck;
+    let db = build_dumbbell(&mut sim, &dspec);
+    add_cross_traffic(&mut sim, &db, &sc.cross, sc.deadline_s);
+    sim.attach_telemetry(tsink);
+
+    let msgs_per_flow = sc.frame_sizes.len() as u64;
+    let msg_size = sc.frame_sizes.first().copied().unwrap_or(1400);
+    let pairs = db.left_hosts.len();
+
+    // One config (and builder) per sender class: flows of a class share
+    // the `Arc<RudpConfig>` instead of cloning the config per flow.
+    let base = rudp_config(sc);
+    let marked = RudpConfig {
+        loss_tolerance: 0.0,
+        ..base.clone()
+    }
+    .builder(0, FlowId(0));
+    let adaptive = base.clone().builder(0, FlowId(0));
+    let unmarked = RudpConfig {
+        discard_unmarked: true,
+        ..base.clone()
+    }
+    .builder(0, FlowId(0));
+    let sparse_ack = RudpConfig {
+        loss_tolerance: 0.0,
+        ack_every: 4,
+        ..base.clone()
+    }
+    .builder(0, FlowId(0));
+
+    let mut bulk_txs = Vec::new();
+    let mut adaptive_txs = Vec::new();
+    let mut rxs = Vec::new();
+    for i in 0..sc.incast_flows {
+        let pair = i as usize % pairs;
+        let port = 1000 + i as u16;
+        let conn_id = 1000 + i;
+        let flow = FlowId(1000 + i);
+        let peer = Addr::new(db.right_hosts[pair], port);
+        let class_builder = match i % 4 {
+            0 => &marked,
+            1 => &adaptive,
+            2 => &unmarked,
+            _ => &sparse_ack,
+        };
+        if i % 4 == 1 {
+            let mut cfg = SourceConfig::new(conn_id, sc.frame_sizes.clone());
+            cfg.rudp = base.clone();
+            cfg.mode = CoordinationMode::Coordinated;
+            cfg.min_adapt_gap = time::secs(sc.min_adapt_gap_s);
+            cfg.min_lower_gap = time::secs(sc.min_lower_gap_s);
+            cfg.seed = sc.seed ^ u64::from(i) ^ 0x5eed;
+            let src = AdaptiveSourceAgent::new(
+                cfg,
+                Policy::Marking(MarkingAdapter::default()),
+                peer,
+                flow,
+            );
+            adaptive_txs.push(sim.add_agent(db.left_hosts[pair], port, Box::new(src)));
+        } else {
+            let unmark = if i % 4 == 2 { 4 } else { 0 };
+            let driver = class_builder.for_conn(conn_id, flow).build_sender(peer);
+            let agent = iq_rudp::BulkSenderAgent::from_driver(driver, msgs_per_flow, msg_size)
+                .unmark_every(unmark);
+            bulk_txs.push(sim.add_agent(db.left_hosts[pair], port, Box::new(agent)));
+        }
+        let sink = EchoSinkAgent::from_driver(
+            class_builder.for_conn(conn_id, flow).build_receiver(),
+        );
+        rxs.push(sim.add_agent(db.right_hosts[pair], port, Box::new(sink)));
+    }
+
+    // Run in one-second slices until every flow finished or the
+    // deadline elapses.
+    let deadline = time::secs(sc.deadline_s);
+    while sim.now() < deadline {
+        sim.run_for(time::secs(1.0));
+        let all_done = rxs
+            .iter()
+            .all(|&rx| sim.agent::<EchoSinkAgent>(rx).is_some_and(|s| s.is_finished()));
+        if all_done {
+            break;
+        }
+    }
+
+    let telemetry = bus.map_or_else(String::new, |b| {
+        let bus = b.lock().unwrap_or_else(|e| e.into_inner());
+        to_jsonl(&bus.records())
+    });
+    let events_processed = sim.counters().events_processed;
+
+    // Aggregate across the fleet: sums for volume metrics, the max for
+    // duration, flow 0's series for jitter shape.
+    let mut offered = 0u64;
+    let mut callbacks = (0u64, 0u64);
+    let mut stats = iq_rudp::SenderStats::default();
+    let mut coordination: Option<CoordinationLog> = None;
+    for &tx in &bulk_txs {
+        let a = sim.agent::<iq_rudp::BulkSenderAgent>(tx).expect("bulk sender");
+        offered += a.offered_msgs();
+        sum_sender_stats(&mut stats, &a.conn().stats());
+    }
+    for &tx in &adaptive_txs {
+        let a = sim.agent::<AdaptiveSourceAgent>(tx).expect("adaptive source");
+        offered += a.offered_msgs;
+        callbacks.0 += a.callbacks.0;
+        callbacks.1 += a.callbacks.1;
+        sum_sender_stats(&mut stats, &a.conn().stats());
+        let log = a.coordination_log();
+        match &mut coordination {
+            None => coordination = Some(log),
+            Some(agg) => {
+                agg.window_rescales += log.window_rescales;
+                agg.cond_corrections += log.cond_corrections;
+                agg.reliability_reports += log.reliability_reports;
+                agg.deferred_announcements += log.deferred_announcements;
+                agg.frequency_reports += log.frequency_reports;
+                agg.cumulative_factor *= log.cumulative_factor;
+            }
+        }
+    }
+    let mut delivered = 0u64;
+    let mut throughput = 0.0f64;
+    let mut duration = 0.0f64;
+    let mut finished = true;
+    for &rx in &rxs {
+        let s = sim.agent::<EchoSinkAgent>(rx).expect("sink");
+        delivered += s.metrics.messages();
+        throughput += s.metrics.throughput_kbps();
+        duration = duration.max(s.metrics.duration_s());
+        finished &= s.is_finished();
+    }
+    let first = sim.agent::<EchoSinkAgent>(rxs[0]).expect("sink 0");
+    RunResult {
+        label: "many-flow incast",
+        duration_s: duration,
+        throughput_kbps: throughput,
+        inter_arrival_s: first.metrics.inter_arrival_s(),
+        jitter_s: first.metrics.jitter_s(),
+        tagged_delay_ms: first.metrics.tagged_inter_arrival_s() * 1e3,
+        tagged_jitter_ms: first.metrics.tagged_jitter_s() * 1e3,
+        msgs_offered: offered,
+        msgs_delivered: delivered,
+        delivered_pct: if offered > 0 {
+            100.0 * delivered as f64 / offered as f64
+        } else {
+            0.0
+        },
+        jitter_series: first.metrics.jitter_series().clone(),
+        finished,
+        coordination,
+        callbacks,
+        sender_stats: Some(stats),
+        events_processed,
+        telemetry,
+    }
+}
+
+fn sum_sender_stats(acc: &mut iq_rudp::SenderStats, s: &iq_rudp::SenderStats) {
+    acc.msgs_submitted += s.msgs_submitted;
+    acc.msgs_discarded += s.msgs_discarded;
+    acc.segments_sent += s.segments_sent;
+    acc.retransmits += s.retransmits;
+    acc.segments_abandoned += s.segments_abandoned;
+    acc.segments_acked += s.segments_acked;
+    acc.timeouts += s.timeouts;
+    acc.bytes_acked += s.bytes_acked;
 }
 
 fn run_tcp(sc: &Scenario) -> RunResult {
@@ -544,6 +762,33 @@ mod tests {
         let mean = sizes.iter().map(|&s| f64::from(s)).sum::<f64>() / sizes.len() as f64;
         let rate = mean * 8.0 * 500.0;
         assert!((rate - 8e6).abs() / 8e6 < 0.15, "rate = {rate}");
+    }
+
+    #[test]
+    fn incast_runs_a_mixed_fleet_to_completion() {
+        let mut sc = Scenario::incast(24, 40, 1400);
+        sc.deadline_s = 60.0;
+        let r = run_scenario(&sc);
+        assert!(r.finished, "incast did not finish: {r:?}");
+        assert_eq!(r.msgs_offered, 24 * 40);
+        // Unmarked-discard flows lose some messages by design; most of
+        // the fleet is reliable.
+        assert!(r.msgs_delivered > 24 * 40 * 8 / 10, "{}", r.msgs_delivered);
+        assert!(r.throughput_kbps > 0.0);
+        let stats = r.sender_stats.expect("aggregated sender stats");
+        assert!(stats.segments_acked > 0);
+        assert!(r.coordination.is_some(), "adaptive flows report coordination");
+    }
+
+    #[test]
+    fn incast_is_deterministic_across_runs() {
+        let sc = Scenario::incast(12, 30, 1400);
+        let a = run_scenario(&sc);
+        let b = run_scenario(&sc);
+        assert_eq!(a.duration_s, b.duration_s);
+        assert_eq!(a.msgs_delivered, b.msgs_delivered);
+        assert_eq!(a.jitter_s, b.jitter_s);
+        assert_eq!(a.events_processed, b.events_processed);
     }
 
     #[test]

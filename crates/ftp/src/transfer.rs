@@ -93,6 +93,7 @@ pub struct FtpSenderAgent {
     cutoff_raises: u64,
     /// msg_id → block, for receiver-side accounting.
     sent_map: Vec<Block>,
+    events_scratch: Vec<ConnEvent>,
     finished: bool,
 }
 
@@ -112,6 +113,7 @@ impl FtpSenderAgent {
             last_raise: None,
             cutoff_raises: 0,
             sent_map: Vec::new(),
+            events_scratch: Vec::new(),
             finished: false,
         }
     }
@@ -144,7 +146,10 @@ impl FtpSenderAgent {
     }
 
     fn process_events(&mut self, now: Time) {
-        for ev in self.coordinator.take_events(&mut self.driver.conn) {
+        let mut events = std::mem::take(&mut self.events_scratch);
+        self.coordinator
+            .take_events_into(&mut self.driver.conn, &mut events);
+        for ev in events.drain(..) {
             match ev {
                 ConnEvent::UpperThreshold(_) => {
                     if let Some(last) = self.last_raise {
@@ -183,6 +188,7 @@ impl FtpSenderAgent {
                 _ => {}
             }
         }
+        self.events_scratch = events;
     }
 
     fn refill(&mut self, now: Time) {

@@ -21,8 +21,10 @@ pub struct FlowMetrics {
     tagged_inter_arrival: Welford,
     /// Per-message |inter-arrival - mean so far| series for Figures 2/3.
     jitter_series: TimeSeries,
-    /// One-way latency of each message (send → deliver), seconds.
-    latency: Welford,
+    /// Summed one-way latency (send → deliver) in nanoseconds. An
+    /// integer add keeps this off the floating-point hot path; the mean
+    /// is derived on read.
+    latency_sum_ns: u64,
 }
 
 impl FlowMetrics {
@@ -42,8 +44,7 @@ impl FlowMetrics {
         self.last_arrival_ns = now_ns;
         self.bytes += bytes;
         self.messages += 1;
-        self.latency
-            .push((now_ns.saturating_sub(sent_at_ns)) as f64 / 1e9);
+        self.latency_sum_ns += now_ns.saturating_sub(sent_at_ns);
 
         if let Some(prev) = self.prev_arrival_ns {
             self.record_gap(now_ns, prev);
@@ -53,7 +54,7 @@ impl FlowMetrics {
         if tagged {
             self.tagged_messages += 1;
             if let Some(prev) = self.prev_tagged_ns {
-                self.tagged_inter_arrival.push((now_ns - prev) as f64 / 1e9);
+                self.tagged_inter_arrival.push((now_ns - prev) as f64 * 1e-9);
             }
             self.prev_tagged_ns = Some(now_ns);
         }
@@ -66,7 +67,7 @@ impl FlowMetrics {
     /// disagree on count or value — a same-nanosecond arrival (gap 0)
     /// lands in both, once.
     fn record_gap(&mut self, now_ns: u64, prev_ns: u64) {
-        let gap_s = (now_ns.saturating_sub(prev_ns)) as f64 / 1e9;
+        let gap_s = (now_ns.saturating_sub(prev_ns)) as f64 * 1e-9;
         self.inter_arrival.push(gap_s);
         // Jitter sample: absolute deviation of this gap from the mean
         // gap so far (including this gap), in milliseconds; mirrors the
@@ -131,7 +132,10 @@ impl FlowMetrics {
 
     /// Mean one-way message latency, seconds.
     pub fn latency_s(&self) -> f64 {
-        self.latency.mean()
+        if self.messages == 0 {
+            return 0.0;
+        }
+        self.latency_sum_ns as f64 / self.messages as f64 * 1e-9
     }
 
     /// The per-message jitter series (Figures 2/3).

@@ -164,6 +164,10 @@ pub struct LinkState {
     avg_queue: f64,
     /// Whether the transmitter is currently serializing a packet.
     busy: bool,
+    /// One-entry `tx_time` memo. Traffic on a link is dominated by one
+    /// or two packet sizes, so this skips the float division on almost
+    /// every transmission while producing bit-identical times.
+    tx_memo: (u32, TimeDelta),
     /// Running counters.
     pub stats: LinkStats,
 }
@@ -190,6 +194,7 @@ impl LinkState {
             queued_bytes: 0,
             avg_queue: 0.0,
             busy: false,
+            tx_memo: (u32::MAX, 0),
             stats: LinkStats::default(),
         }
     }
@@ -273,6 +278,14 @@ impl LinkState {
     /// Serialization time for a packet of `size` wire bytes on this link.
     pub fn tx_time(&self, size: u32) -> TimeDelta {
         crate::time::transmission_time(size, self.spec.rate_bps)
+    }
+
+    /// [`Self::tx_time`] through the one-entry memo (hot path).
+    pub fn tx_time_cached(&mut self, size: u32) -> TimeDelta {
+        if self.tx_memo.0 != size {
+            self.tx_memo = (size, self.tx_time(size));
+        }
+        self.tx_memo.1
     }
 
     /// Arrival time at the far end for a transmission finishing at

@@ -71,29 +71,107 @@ impl FlowId {
 /// Upper bound on values stored inline in a [`Payload`].
 const INLINE_BYTES: usize = 16;
 
+/// Size in `u64` words of a pooled payload buffer: fits the largest
+/// protocol segment wrapper (`RudpPacket` with a full inline SACK block
+/// is 192 bytes).
+const POOL_WORDS: usize = 24;
+
+/// Pooled buffers retained per thread; beyond this, freed buffers go
+/// back to the allocator. Sized well above the peak in-flight packet
+/// count of the experiment topologies.
+const POOL_MAX: usize = 8192;
+
+std::thread_local! {
+    /// Free list of pooled payload buffers. Payload drops push here and
+    /// sends pop, so steady-state segment traffic recycles a bounded set
+    /// of buffers instead of hitting the allocator per packet. The
+    /// element boxing is the point: entries keep their heap identity so
+    /// recycling never reallocates.
+    #[allow(clippy::vec_box)]
+    static PAYLOAD_POOL: std::cell::RefCell<Vec<Box<[u64; POOL_WORDS]>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// A pooled buffer: fresh from the free list, or newly allocated
+/// (zeroing is unnecessary — the caller overwrites the value bytes and
+/// only those are ever read back).
+fn pool_get() -> Box<[u64; POOL_WORDS]> {
+    PAYLOAD_POOL
+        .with(|p| p.borrow_mut().pop())
+        .unwrap_or_else(|| Box::new([0u64; POOL_WORDS]))
+}
+
+/// Returns a buffer to the thread's free list (or drops it when full).
+fn pool_put(buf: Box<[u64; POOL_WORDS]>) {
+    PAYLOAD_POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        if p.len() < POOL_MAX {
+            p.push(buf);
+        }
+    });
+}
+
 /// Dynamically-typed packet content.
 ///
-/// Small plain-data values (at most `INLINE_BYTES` bytes, `u64`-or-less
-/// alignment, no destructor — e.g. a datagram sequence number) are stored
-/// inline, so steady-state datagram sends never allocate. Everything else
-/// is shared behind an `Arc`, so a packet can be duplicated (e.g. by a
-/// lossy-duplication link model) without copying the content.
+/// Three storage tiers, picked at construction by compile-time type
+/// properties:
+///
+/// * **inline** — plain-data values of at most `INLINE_BYTES` bytes
+///   (e.g. a datagram sequence number) live in the `Payload` itself;
+/// * **pooled** — larger destructor-free plain data up to
+///   `8 * POOL_WORDS` bytes (transport segments: `RudpPacket`,
+///   `TcpPacket`) lives in a fixed-size buffer drawn from a per-thread
+///   free list and returned to it on drop, so steady-state segment
+///   traffic never touches the allocator;
+/// * **shared** — everything else goes behind an `Arc`, so a packet can
+///   be duplicated (e.g. by a lossy-duplication link model) without
+///   copying the content.
 pub struct Payload(Repr);
 
-#[derive(Clone)]
 enum Repr {
-    /// Type-tagged raw bytes of a destructor-free value.
+    /// Type-tagged raw bytes of a small destructor-free value.
     Inline {
         type_id: TypeId,
         data: [u64; INLINE_BYTES / 8],
+    },
+    /// Type-tagged raw bytes of a mid-size destructor-free value in a
+    /// recycled buffer. `ManuallyDrop` so `Payload::drop` can reclaim
+    /// the box for the pool instead of freeing it.
+    Pooled {
+        type_id: TypeId,
+        buf: std::mem::ManuallyDrop<Box<[u64; POOL_WORDS]>>,
     },
     /// Shared heap content.
     Shared(Arc<dyn Any + Send + Sync>),
 }
 
+impl Drop for Payload {
+    fn drop(&mut self) {
+        if let Repr::Pooled { buf, .. } = &mut self.0 {
+            // SAFETY: `drop` runs at most once, and no other path takes
+            // the box out of a live `Pooled` payload.
+            pool_put(unsafe { std::mem::ManuallyDrop::take(buf) });
+        }
+    }
+}
+
 impl Clone for Payload {
     fn clone(&self) -> Self {
-        Payload(self.0.clone())
+        Payload(match &self.0 {
+            Repr::Inline { type_id, data } => Repr::Inline {
+                type_id: *type_id,
+                data: *data,
+            },
+            Repr::Pooled { type_id, buf } => {
+                let mut copy = pool_get();
+                *copy = ***buf;
+                Repr::Pooled {
+                    type_id: *type_id,
+                    buf: std::mem::ManuallyDrop::new(copy),
+                }
+            }
+            Repr::Shared(arc) => Repr::Shared(Arc::clone(arc)),
+        })
     }
 }
 
@@ -112,6 +190,16 @@ impl Payload {
                     // built from, so `data` holds a valid `T` (size and
                     // alignment were checked at construction).
                     Some(unsafe { &*data.as_ptr().cast::<T>() })
+                } else {
+                    None
+                }
+            }
+            Repr::Pooled { type_id, buf } => {
+                if *type_id == TypeId::of::<T>() {
+                    // SAFETY: as above — the buffer was filled with a `T`
+                    // whose size, alignment, and drop-freeness were
+                    // checked at construction.
+                    Some(unsafe { &*buf.as_ptr().cast::<T>() })
                 } else {
                     None
                 }
@@ -136,15 +224,14 @@ impl From<Arc<dyn Any + Send + Sync>> for Payload {
     }
 }
 
-/// Builds a payload from any sendable value, storing it inline when it is
-/// small plain data (see [`Payload`]).
+/// Builds a payload from any sendable value, storing it inline or in a
+/// pooled buffer when it is plain data (see [`Payload`]).
 pub fn payload<T: Any + Send + Sync>(value: T) -> Payload {
-    // All three conditions are compile-time constants per `T`, so each
-    // instantiation collapses to a single branch-free path.
-    if std::mem::size_of::<T>() <= INLINE_BYTES
-        && std::mem::align_of::<T>() <= std::mem::align_of::<u64>()
-        && !std::mem::needs_drop::<T>()
-    {
+    // All conditions are compile-time constants per `T`, so each
+    // instantiation collapses to a single storage path.
+    let plain = std::mem::align_of::<T>() <= std::mem::align_of::<u64>()
+        && !std::mem::needs_drop::<T>();
+    if plain && std::mem::size_of::<T>() <= INLINE_BYTES {
         let mut data = [0u64; INLINE_BYTES / 8];
         // SAFETY: `T` fits in `data`, requires at most `u64` alignment,
         // and has no drop glue; the original is forgotten after the byte
@@ -160,6 +247,22 @@ pub fn payload<T: Any + Send + Sync>(value: T) -> Payload {
         Payload(Repr::Inline {
             type_id: TypeId::of::<T>(),
             data,
+        })
+    } else if plain && std::mem::size_of::<T>() <= 8 * POOL_WORDS {
+        let mut buf = pool_get();
+        // SAFETY: same argument as the inline arm, against the pooled
+        // buffer (whose size and `u64` alignment were just checked).
+        unsafe {
+            std::ptr::copy_nonoverlapping(
+                (&value as *const T).cast::<u8>(),
+                buf.as_mut_ptr().cast::<u8>(),
+                std::mem::size_of::<T>(),
+            );
+        }
+        std::mem::forget(value);
+        Payload(Repr::Pooled {
+            type_id: TypeId::of::<T>(),
+            buf: std::mem::ManuallyDrop::new(buf),
         })
     } else {
         Payload(Repr::Shared(Arc::new(value)))
@@ -243,14 +346,42 @@ mod tests {
 
     #[test]
     fn droppy_or_large_values_go_to_the_arc_path() {
-        // Needs drop glue: must not be inlined.
+        // Needs drop glue: must not be inlined or pooled.
         let s = payload(String::from("heap"));
         assert!(matches!(s.0, Repr::Shared(_)));
         assert_eq!(s.downcast_ref::<String>().map(String::as_str), Some("heap"));
-        // Too large for the inline slot.
-        let big = payload([0u64; 4]);
+        // Too large even for a pooled buffer.
+        let big = payload([0u64; POOL_WORDS + 1]);
         assert!(matches!(big.0, Repr::Shared(_)));
-        assert!(big.downcast_ref::<[u64; 4]>().is_some());
+        assert!(big.downcast_ref::<[u64; POOL_WORDS + 1]>().is_some());
+    }
+
+    #[test]
+    fn mid_size_plain_values_use_the_pool() {
+        let mk = || {
+            let mut v = [0u64; 8]; // 64 bytes: past inline, within pooled
+            v[0] = 11;
+            v[7] = 77;
+            payload(v)
+        };
+        let p = mk();
+        assert!(matches!(p.0, Repr::Pooled { .. }));
+        assert_eq!(p.downcast_ref::<[u64; 8]>().unwrap()[7], 77);
+        assert_eq!(p.downcast_ref::<u64>(), None);
+        // Clones are independent copies, never aliased.
+        let q = p.clone();
+        assert!(!Payload::ptr_eq(&p, &q));
+        assert_eq!(q.downcast_ref::<[u64; 8]>().unwrap()[0], 11);
+        // Dropping recycles the buffer: the next pooled payload reuses
+        // the same allocation.
+        let addr_of = |pl: &Payload| match &pl.0 {
+            Repr::Pooled { buf, .. } => buf.as_ptr() as usize,
+            _ => unreachable!(),
+        };
+        let first = addr_of(&q);
+        drop(q);
+        let r = mk();
+        assert_eq!(addr_of(&r), first, "pooled buffer was not recycled");
     }
 
     #[test]

@@ -46,8 +46,8 @@ const SLOT_BITS: u32 = 8;
 pub const SLOTS: usize = 1 << SLOT_BITS;
 /// Wheel levels; beyond the top level events overflow into the far heap.
 pub const LEVELS: usize = 3;
-/// log2 of the level-0 bucket width in nanoseconds (2^16 ns ≈ 65.5 µs).
-const G0_BITS: u32 = 16;
+/// log2 of the level-0 bucket width in nanoseconds (2^20 ns ≈ 1.05 ms).
+const G0_BITS: u32 = 20;
 
 /// Bit shift converting a time to an absolute bucket number at `level`.
 #[inline]
@@ -200,8 +200,17 @@ impl EventQueue {
     pub fn push(&mut self, ev: Event) {
         self.len += 1;
         if ev.at < self.near_end {
-            let idx = self.near.binary_search(&ev).unwrap_err();
-            self.near.insert(idx, ev);
+            // Appending beats the binary insert for the dominant case: an
+            // event earlier than everything pending (same-timestamp local
+            // deliveries scheduled from the event being executed land
+            // here, since `seq` grows monotonically).
+            match self.near.last() {
+                Some(last) if ev.cmp(last) != std::cmp::Ordering::Greater => {
+                    let idx = self.near.binary_search(&ev).unwrap_err();
+                    self.near.insert(idx, ev);
+                }
+                _ => self.near.push(ev),
+            }
             return;
         }
         for level in 0..LEVELS {

@@ -209,7 +209,7 @@ impl SimCore {
         let Some(q) = link.begin_tx() else {
             return; // transmitter went idle
         };
-        let tx_done = self.now + link.tx_time(q.size);
+        let tx_done = self.now + link.tx_time_cached(q.size);
         let mut arrival = link.arrival_time(tx_done);
         let lost = link.spec.random_loss > 0.0 && self.rng.gen::<f64>() < link.spec.random_loss;
         if link.spec.jitter > 0 {

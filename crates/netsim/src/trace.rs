@@ -66,15 +66,24 @@ pub struct PacketEvent {
     pub kind: PacketEventKind,
 }
 
+/// Flow ids below this threshold use the O(1) dense lookup table
+/// (16 KiB at worst); higher ids fall back to a linear scan.
+const DENSE_IDS: u32 = 4096;
+
 /// Collects flow counters and (optionally) packet events.
 #[derive(Debug, Default)]
 pub struct TraceCollector {
-    /// Per-flow counters in first-seen order. A simulation has a handful
-    /// of flows, so a linear scan beats hashing on every packet event.
+    /// Per-flow counters in first-seen order. Iteration (and therefore
+    /// table output) follows this vector, so insertion order is part of
+    /// the deterministic surface.
     flows: Vec<(FlowId, FlowStats)>,
-    /// Index of the flow touched by the previous event: packet events
-    /// arrive in bursts per flow, so this usually skips the scan.
-    last_flow: usize,
+    /// Direct-index lookup for small flow ids: `dense[flow.0]` holds
+    /// `index into flows + 1` (0 = unseen). Incast workloads run
+    /// hundreds of interleaved flows, where the old linear scan cost
+    /// O(flows) on every packet event; this is O(1) for the ids real
+    /// scenarios use. Ids ≥ [`DENSE_IDS`] (notably [`FlowId::ANON`])
+    /// fall back to a scan.
+    dense: Vec<u32>,
     log: Vec<PacketEvent>,
     log_capacity: usize,
     /// Events that arrived after the log filled.
@@ -94,10 +103,18 @@ impl TraceCollector {
     /// Counters slot for `flow`, creating it on first sight.
     #[inline]
     fn flow_mut(&mut self, flow: FlowId) -> &mut FlowStats {
-        if let Some(&(f, _)) = self.flows.get(self.last_flow) {
-            if f == flow {
-                return &mut self.flows[self.last_flow].1;
+        if flow.0 < DENSE_IDS {
+            let fi = flow.0 as usize;
+            if fi >= self.dense.len() {
+                self.dense.resize(fi + 1, 0);
             }
+            let slot = self.dense[fi];
+            if slot != 0 {
+                return &mut self.flows[(slot - 1) as usize].1;
+            }
+            self.flows.push((flow, FlowStats::default()));
+            self.dense[fi] = self.flows.len() as u32;
+            return &mut self.flows.last_mut().expect("just pushed").1;
         }
         let idx = match self.flows.iter().position(|&(f, _)| f == flow) {
             Some(i) => i,
@@ -106,7 +123,6 @@ impl TraceCollector {
                 self.flows.len() - 1
             }
         };
-        self.last_flow = idx;
         &mut self.flows[idx].1
     }
 

@@ -2,6 +2,8 @@
 //! netsim agents, plus ready-made bulk-transfer agents used by the
 //! fairness and baseline experiments.
 
+use std::sync::Arc;
+
 use iq_metrics::FlowMetrics;
 use iq_netsim::{payload, Addr, Agent, Ctx, FlowId, Packet, Time, TimerId};
 use iq_telemetry::TelemetrySink;
@@ -27,7 +29,9 @@ pub const RUDP_TIMER_TOKEN: u64 = 0x5255_4450; // "RUDP"
 /// embedding agents never touch the constant.
 #[derive(Clone)]
 pub struct ConnBuilder {
-    cfg: RudpConfig,
+    /// Shared, not cloned per connection: a many-flow setup builds
+    /// hundreds of connections from one immutable config.
+    cfg: Arc<RudpConfig>,
     conn_id: u32,
     flow: FlowId,
     telemetry: TelemetrySink,
@@ -38,7 +42,7 @@ impl ConnBuilder {
     /// telemetry with `flow`.
     pub fn new(cfg: RudpConfig, conn_id: u32, flow: FlowId) -> Self {
         Self {
-            cfg,
+            cfg: Arc::new(cfg),
             conn_id,
             flow,
             telemetry: TelemetrySink::disabled(),
@@ -51,16 +55,27 @@ impl ConnBuilder {
         self
     }
 
+    /// Re-targets the builder at another connection id and flow, reusing
+    /// the shared config (many-flow setup loops).
+    pub fn for_conn(&self, conn_id: u32, flow: FlowId) -> Self {
+        Self {
+            cfg: Arc::clone(&self.cfg),
+            conn_id,
+            flow,
+            telemetry: self.telemetry.clone(),
+        }
+    }
+
     /// Builds the sending half, driving segments toward `peer`.
     pub fn build_sender(&self, peer: Addr) -> SenderDriver {
-        let mut conn = SenderConn::new(self.conn_id, self.cfg.clone());
+        let mut conn = SenderConn::from_shared(self.conn_id, Arc::clone(&self.cfg));
         conn.set_telemetry(self.telemetry.clone(), u64::from(self.flow.0));
         SenderDriver::new(conn, peer, self.flow)
     }
 
     /// Builds the receiving half.
     pub fn build_receiver(&self) -> ReceiverDriver {
-        let mut conn = ReceiverConn::new(self.conn_id, self.cfg.clone());
+        let mut conn = ReceiverConn::from_shared(self.conn_id, Arc::clone(&self.cfg));
         conn.set_telemetry(self.telemetry.clone(), u64::from(self.flow.0));
         ReceiverDriver::new(conn, self.flow)
     }
@@ -241,8 +256,13 @@ pub struct BulkSenderAgent {
     msg_size: u32,
     /// Keep roughly this many segments queued inside the connection.
     backlog_target: usize,
+    /// Send every n-th message unmarked (0 = everything marked); the
+    /// incast workload uses this to exercise abandonment paths.
+    unmark_every: u64,
+    offered: u64,
     /// Network-condition history, one entry per measuring period.
     pub period_log: Vec<crate::meter::NetCond>,
+    events_scratch: Vec<ConnEvent>,
 }
 
 impl BulkSenderAgent {
@@ -259,8 +279,18 @@ impl BulkSenderAgent {
             remaining_msgs: total_msgs,
             msg_size,
             backlog_target: 128,
+            unmark_every: 0,
+            offered: 0,
             period_log: Vec::new(),
+            events_scratch: Vec::new(),
         }
+    }
+
+    /// Sends every `n`-th message unmarked (droppable under the
+    /// receiver's loss tolerance or discard-unmarked coordination).
+    pub fn unmark_every(mut self, n: u64) -> Self {
+        self.unmark_every = n;
+        self
     }
 
     /// Access to the underlying connection (stats, window).
@@ -268,11 +298,18 @@ impl BulkSenderAgent {
         &self.driver.conn
     }
 
+    /// Messages offered so far (including discarded unmarked ones).
+    pub fn offered_msgs(&self) -> u64 {
+        self.offered
+    }
+
     fn refill(&mut self, now: Time) {
         while self.remaining_msgs > 0
             && self.driver.conn.backlog_segments() < self.backlog_target
         {
-            self.driver.conn.send_message(now, self.msg_size, true);
+            let marked = self.unmark_every == 0 || !self.offered.is_multiple_of(self.unmark_every);
+            self.driver.conn.send_message(now, self.msg_size, marked);
+            self.offered += 1;
             self.remaining_msgs -= 1;
         }
         if self.remaining_msgs == 0 {
@@ -281,7 +318,8 @@ impl BulkSenderAgent {
     }
 
     fn after_io(&mut self, ctx: &mut Ctx<'_>) {
-        for ev in self.driver.conn.take_events() {
+        self.driver.conn.take_events_into(&mut self.events_scratch);
+        for ev in self.events_scratch.drain(..) {
             if let ConnEvent::PeriodEnded(c) = ev {
                 self.period_log.push(c);
             }
@@ -320,6 +358,7 @@ pub struct RudpSinkAgent {
     /// Raw messages, retained when `keep_messages` is set.
     pub messages: Vec<DeliveredMsg>,
     keep_messages: bool,
+    msgs_scratch: Vec<DeliveredMsg>,
 }
 
 impl RudpSinkAgent {
@@ -336,6 +375,7 @@ impl RudpSinkAgent {
             metrics: FlowMetrics::new(),
             messages: Vec::new(),
             keep_messages: false,
+            msgs_scratch: Vec::new(),
         }
     }
 
@@ -361,7 +401,8 @@ impl Agent for RudpSinkAgent {
         if !self.driver.handle_packet(ctx, &pkt) {
             return;
         }
-        for msg in self.driver.conn.take_messages() {
+        self.driver.conn.take_messages_into(&mut self.msgs_scratch);
+        for msg in self.msgs_scratch.drain(..) {
             self.metrics.on_message(
                 msg.delivered_at,
                 msg.sent_at,
@@ -372,7 +413,7 @@ impl Agent for RudpSinkAgent {
                 self.messages.push(msg);
             }
         }
-        self.driver.conn.take_events();
+        self.driver.conn.clear_events();
         self.driver.pump(ctx);
     }
 }

@@ -25,6 +25,7 @@ pub mod cc;
 pub mod endpoint;
 pub mod meter;
 pub mod receiver;
+pub mod ring;
 pub mod rtt;
 pub mod segment;
 pub mod sender;
@@ -36,7 +37,11 @@ pub use endpoint::{
 };
 pub use meter::{NetCond, PeriodMeter};
 pub use receiver::ReceiverConn;
+pub use ring::SeqRing;
 pub use rtt::RttEstimator;
-pub use segment::{wire_size, AckSeg, DataSeg, RudpPacket, Segment, DEFAULT_MSS, HEADER_BYTES};
+pub use segment::{
+    wire_size, AckSeg, DataSeg, RudpPacket, SackRanges, Segment, ACK_BYTES, DEFAULT_MSS,
+    HEADER_BYTES, MAX_SACK_RANGES, SACK_RANGE_BYTES,
+};
 pub use sender::{SenderConn, SenderState};
 pub use types::{ConnEvent, DeliveredMsg, ReceiverStats, RudpConfig, SendOutcome, SenderStats};

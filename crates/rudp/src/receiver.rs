@@ -2,16 +2,15 @@
 //! reorder buffer, message reassembly, selective acknowledgements, and
 //! adaptive-reliability skipping (the sender's `fwd_seq` floor).
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use iq_netsim::Time;
 use iq_telemetry::{TelemetryEvent, TelemetrySink};
 
-use crate::segment::{AckSeg, DataSeg, Segment};
+use crate::ring::SeqRing;
+use crate::segment::{AckSeg, DataSeg, SackRanges, Segment};
 use crate::types::{ConnEvent, DeliveredMsg, ReceiverStats, RudpConfig};
-
-/// Maximum SACK ranges reported per ACK.
-const MAX_SACK_RANGES: usize = 8;
 
 /// In-progress reassembly of one application message.
 #[derive(Debug)]
@@ -26,7 +25,7 @@ struct Assembly {
 
 /// The receiving endpoint state machine.
 pub struct ReceiverConn {
-    cfg: RudpConfig,
+    cfg: Arc<RudpConfig>,
     conn_id: u32,
     /// Current loss tolerance; starts at `cfg.loss_tolerance` and may be
     /// changed by the receiving application at any time.
@@ -37,14 +36,14 @@ pub struct ReceiverConn {
     /// Highest sequence number observed.
     highest_seen: u64,
     /// Out-of-order segments above `next_required`.
-    buffer: BTreeMap<u64, DataSeg>,
+    buffer: SeqRing<DataSeg>,
     /// Current message being assembled from in-order fragments.
     assembly: Option<Assembly>,
     /// Set when a skipped hole may have cut a message in half; cleared
     /// at the next fragment with index 0.
     poisoned: bool,
     /// Completed messages awaiting pickup by the application.
-    delivered: VecDeque<DeliveredMsg>,
+    delivered: Vec<DeliveredMsg>,
     /// Segments waiting to be put on the wire (SYN-ACK, ACKs, FIN-ACK).
     outbox: VecDeque<Segment>,
     events: Vec<ConnEvent>,
@@ -60,6 +59,13 @@ pub struct ReceiverConn {
 impl ReceiverConn {
     /// Creates a receiver for connection `conn_id`.
     pub fn new(conn_id: u32, cfg: RudpConfig) -> Self {
+        Self::from_shared(conn_id, Arc::new(cfg))
+    }
+
+    /// Creates a receiver sharing an already-wrapped configuration (the
+    /// [`crate::ConnBuilder`] path: many-flow setups build hundreds of
+    /// connections from one config without cloning it each time).
+    pub fn from_shared(conn_id: u32, cfg: Arc<RudpConfig>) -> Self {
         let tolerance = cfg.loss_tolerance;
         Self {
             cfg,
@@ -68,10 +74,10 @@ impl ReceiverConn {
             established: false,
             next_required: 0,
             highest_seen: 0,
-            buffer: BTreeMap::new(),
+            buffer: SeqRing::new(),
             assembly: None,
             poisoned: false,
-            delivered: VecDeque::new(),
+            delivered: Vec::new(),
             outbox: VecDeque::new(),
             events: Vec::new(),
             fin_seq: None,
@@ -120,9 +126,29 @@ impl ReceiverConn {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains pending events into a caller-owned scratch buffer: `out`
+    /// is cleared and swapped with the internal queue, so a caller that
+    /// reuses one buffer pays no allocation per poll in steady state.
+    pub fn take_events_into(&mut self, out: &mut Vec<ConnEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
+    }
+
+    /// Discards pending events (sinks that never inspect them).
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
     /// Drains messages completed since the last call.
     pub fn take_messages(&mut self) -> Vec<DeliveredMsg> {
-        self.delivered.drain(..).collect()
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Drains completed messages into a caller-owned scratch buffer (the
+    /// swap-style counterpart of [`Self::take_messages`]).
+    pub fn take_messages_into(&mut self, out: &mut Vec<DeliveredMsg>) {
+        out.clear();
+        std::mem::swap(&mut self.delivered, out);
     }
 
     /// Current loss tolerance.
@@ -146,16 +172,15 @@ impl ReceiverConn {
     }
 
     /// Builds the SACK range list from the reorder buffer.
-    fn sack_ranges(&self) -> Vec<(u64, u64)> {
-        let mut ranges: Vec<(u64, u64)> = Vec::new();
-        for &seq in self.buffer.keys() {
+    fn sack_ranges(&self) -> SackRanges {
+        let mut ranges = SackRanges::new();
+        for (seq, _) in self.buffer.iter() {
             match ranges.last_mut() {
                 Some((_, end)) if *end == seq => *end = seq + 1,
                 _ => {
-                    if ranges.len() == MAX_SACK_RANGES {
+                    if !ranges.push((seq, seq + 1)) {
                         break;
                     }
-                    ranges.push((seq, seq + 1));
                 }
             }
         }
@@ -218,7 +243,7 @@ impl ReceiverConn {
     fn on_data(&mut self, now: Time, d: &DataSeg) {
         self.stats.segments_received += 1;
         self.highest_seen = self.highest_seen.max(d.seq + 1);
-        let duplicate = d.seq < self.next_required || self.buffer.contains_key(&d.seq);
+        let duplicate = d.seq < self.next_required || self.buffer.contains(d.seq);
         if duplicate {
             self.stats.duplicates += 1;
         } else {
@@ -254,7 +279,7 @@ impl ReceiverConn {
         }
         while self.next_required < fwd_seq {
             let seq = self.next_required;
-            if self.buffer.contains_key(&seq) {
+            if self.buffer.contains(seq) {
                 self.deliver_next(now);
             } else {
                 // A hole the sender told us to skip.
@@ -270,7 +295,7 @@ impl ReceiverConn {
 
     /// Delivers the contiguous run starting at `next_required`.
     fn drain(&mut self, now: Time) {
-        while self.buffer.contains_key(&self.next_required) {
+        while self.buffer.contains(self.next_required) {
             self.deliver_next(now);
         }
     }
@@ -285,7 +310,7 @@ impl ReceiverConn {
 
     fn deliver_next(&mut self, now: Time) {
         let seq = self.next_required;
-        let d = self.buffer.remove(&seq).expect("caller checked presence");
+        let d = self.buffer.take(seq).expect("caller checked presence");
         self.next_required += 1;
 
         if d.frag_idx == 0 {
@@ -332,7 +357,7 @@ impl ReceiverConn {
                     latency_ns: now.saturating_sub(asm.msg_sent_at),
                 }
             });
-            self.delivered.push_back(DeliveredMsg {
+            self.delivered.push(DeliveredMsg {
                 msg_id: asm.msg_id,
                 size: asm.bytes,
                 marked: asm.marked,

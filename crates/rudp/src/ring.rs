@@ -1,0 +1,377 @@
+//! A dense, sequence-indexed ring buffer for per-connection transport
+//! state.
+//!
+//! RUDP assigns sequence numbers contiguously per connection, so the set
+//! of outstanding sender segments (and the receiver's reorder buffer)
+//! always lives in a narrow window `[head, head + span)` that slides
+//! forward as cumulative ACKs and in-order delivery advance. A
+//! `BTreeMap<u64, T>` pays pointer chasing and node allocation for
+//! ordering the structure gets for free; [`SeqRing`] stores the window
+//! in a power-of-two slab of `Option<T>` slots indexed by
+//! `(seq - head_seq) & mask`, so lookups are O(1), iteration is a linear
+//! scan, and steady-state operation allocates nothing (the slab only
+//! grows, and the window is bounded by the receive buffer).
+//!
+//! Semantics match a `BTreeMap<u64, T>` restricted to the access
+//! patterns the protocol uses; `tests/ring_diff.rs` pins that
+//! equivalence with differential property tests.
+
+/// A sparse window of `T` values keyed by contiguous-ish `u64` sequence
+/// numbers, backed by a ring of `Option<T>` slots.
+#[derive(Debug, Clone)]
+pub struct SeqRing<T> {
+    /// Sequence number of the slot at physical index `head`; meaningful
+    /// only while `span > 0`. Invariant: when `len > 0` the head slot is
+    /// occupied (leading empties are trimmed after every removal).
+    head_seq: u64,
+    /// Physical index of `head_seq`'s slot.
+    head: usize,
+    /// Width of the active window `[head_seq, head_seq + span)`.
+    span: usize,
+    /// Occupied slots within the window.
+    len: usize,
+    /// Power-of-two slot storage (empty until the first insert).
+    slots: Box<[Option<T>]>,
+}
+
+impl<T> Default for SeqRing<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SeqRing<T> {
+    /// An empty ring; the slab is allocated lazily on the first insert.
+    pub fn new() -> Self {
+        Self {
+            head_seq: 0,
+            head: 0,
+            span: 0,
+            len: 0,
+            slots: Box::default(),
+        }
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no entries are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Current slot capacity (for tests and sizing diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Lowest occupied sequence number.
+    pub fn first_seq(&self) -> Option<u64> {
+        (self.len > 0).then_some(self.head_seq)
+    }
+
+    /// One past the highest sequence the window covers (0 when empty).
+    /// Occupied seqs all satisfy `first_seq() <= seq < end_seq()`.
+    pub fn end_seq(&self) -> u64 {
+        if self.len == 0 {
+            0
+        } else {
+            self.head_seq + self.span as u64
+        }
+    }
+
+    fn slot_index(&self, seq: u64) -> Option<usize> {
+        if self.span == 0 || seq < self.head_seq {
+            return None;
+        }
+        let offset = seq - self.head_seq;
+        if offset >= self.span as u64 {
+            return None;
+        }
+        Some((self.head + offset as usize) & (self.slots.len() - 1))
+    }
+
+    /// Whether `seq` is occupied.
+    pub fn contains(&self, seq: u64) -> bool {
+        self.get(seq).is_some()
+    }
+
+    /// Borrows the entry at `seq`.
+    pub fn get(&self, seq: u64) -> Option<&T> {
+        self.slot_index(seq).and_then(|i| self.slots[i].as_ref())
+    }
+
+    /// Mutably borrows the entry at `seq`.
+    pub fn get_mut(&mut self, seq: u64) -> Option<&mut T> {
+        self.slot_index(seq)
+            .and_then(move |i| self.slots[i].as_mut())
+    }
+
+    /// Relocates the window into a slab of at least `min_cap` slots,
+    /// with the head at physical index 0.
+    fn grow(&mut self, min_cap: usize) {
+        let new_cap = min_cap.next_power_of_two().max(8);
+        let mut new_slots: Vec<Option<T>> = Vec::with_capacity(new_cap);
+        new_slots.resize_with(new_cap, || None);
+        if !self.slots.is_empty() {
+            let mask = self.slots.len() - 1;
+            for (off, slot) in new_slots.iter_mut().enumerate().take(self.span) {
+                *slot = self.slots[(self.head + off) & mask].take();
+            }
+        }
+        self.slots = new_slots.into_boxed_slice();
+        self.head = 0;
+    }
+
+    /// Inserts `value` at `seq`, returning the previous occupant if any.
+    /// The window stretches to cover `seq` in either direction (the
+    /// receiver re-anchors backwards when an out-of-order segment lands
+    /// below the current head).
+    pub fn insert(&mut self, seq: u64, value: T) -> Option<T> {
+        if self.len == 0 {
+            if self.slots.is_empty() {
+                self.grow(8);
+            }
+            self.head = 0;
+            self.head_seq = seq;
+            self.span = 1;
+        } else if seq >= self.head_seq {
+            let offset = seq - self.head_seq;
+            let offset = usize::try_from(offset).expect("seq window exceeds usize");
+            if offset >= self.slots.len() {
+                self.grow(offset + 1);
+            }
+            if offset >= self.span {
+                self.span = offset + 1;
+            }
+        } else {
+            let back = self.head_seq - seq;
+            let needed = (self.span as u64)
+                .checked_add(back)
+                .and_then(|n| usize::try_from(n).ok())
+                .expect("seq window exceeds usize");
+            if needed > self.slots.len() {
+                self.grow(needed);
+            }
+            let back = back as usize;
+            let cap = self.slots.len();
+            self.head = (self.head + cap - back) & (cap - 1);
+            self.head_seq = seq;
+            self.span += back;
+        }
+        let i = (self.head + (seq - self.head_seq) as usize) & (self.slots.len() - 1);
+        let old = self.slots[i].replace(value);
+        if old.is_none() {
+            self.len += 1;
+        }
+        old
+    }
+
+    /// Drops empty slots at the front so `head_seq` stays the lowest
+    /// occupied sequence (or resets the window when nothing is left).
+    fn trim_front(&mut self) {
+        if self.len == 0 {
+            self.span = 0;
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        while self.slots[self.head].is_none() {
+            self.head = (self.head + 1) & mask;
+            self.head_seq += 1;
+            self.span -= 1;
+        }
+    }
+
+    /// Removes and returns the entry at `seq`.
+    pub fn take(&mut self, seq: u64) -> Option<T> {
+        let i = self.slot_index(seq)?;
+        let v = self.slots[i].take()?;
+        self.len -= 1;
+        self.trim_front();
+        Some(v)
+    }
+
+    /// Removes and returns the lowest entry.
+    pub fn pop_first(&mut self) -> Option<(u64, T)> {
+        if self.len == 0 {
+            return None;
+        }
+        let seq = self.head_seq;
+        let v = self.slots[self.head].take().expect("head slot occupied");
+        self.len -= 1;
+        if self.len == 0 {
+            self.span = 0;
+        } else {
+            let mask = self.slots.len() - 1;
+            self.head = (self.head + 1) & mask;
+            self.head_seq += 1;
+            self.span -= 1;
+            self.trim_front();
+        }
+        Some((seq, v))
+    }
+
+    /// Removes and returns the lowest entry if its seq is below `bound`
+    /// (the cumulative-ACK drain loop).
+    pub fn pop_first_below(&mut self, bound: u64) -> Option<(u64, T)> {
+        if self.len == 0 || self.head_seq >= bound {
+            return None;
+        }
+        self.pop_first()
+    }
+
+    /// Iterates occupied entries in ascending sequence order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &T)> {
+        let mask = self.slots.len().wrapping_sub(1);
+        (0..self.span).filter_map(move |off| {
+            let i = (self.head + off) & mask;
+            self.slots[i]
+                .as_ref()
+                .map(|v| (self.head_seq + off as u64, v))
+        })
+    }
+
+    /// Calls `f` on every occupied entry with seq below `bound`, in
+    /// ascending order (the dup-hint loss-detection sweep).
+    pub fn for_each_mut_below(&mut self, bound: u64, mut f: impl FnMut(u64, &mut T)) {
+        if self.span == 0 {
+            return;
+        }
+        let mask = self.slots.len() - 1;
+        for off in 0..self.span {
+            let seq = self.head_seq + off as u64;
+            if seq >= bound {
+                break;
+            }
+            if let Some(v) = self.slots[(self.head + off) & mask].as_mut() {
+                f(seq, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occupied(r: &SeqRing<u32>) -> Vec<(u64, u32)> {
+        r.iter().map(|(s, &v)| (s, v)).collect()
+    }
+
+    #[test]
+    fn insert_get_take_roundtrip() {
+        let mut r = SeqRing::new();
+        assert!(r.is_empty());
+        assert_eq!(r.insert(10, 1), None);
+        assert_eq!(r.insert(12, 3), None);
+        assert_eq!(r.insert(10, 2), Some(1));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(10), Some(&2));
+        assert_eq!(r.get(11), None);
+        assert_eq!(r.first_seq(), Some(10));
+        assert_eq!(r.end_seq(), 13);
+        assert_eq!(r.take(12), Some(3));
+        assert_eq!(r.take(12), None);
+        assert_eq!(r.take(10), Some(2));
+        assert!(r.is_empty());
+        assert_eq!(r.end_seq(), 0);
+    }
+
+    #[test]
+    fn head_trims_past_holes() {
+        let mut r = SeqRing::new();
+        for seq in 0..6 {
+            r.insert(seq, seq as u32);
+        }
+        r.take(1);
+        r.take(2);
+        assert_eq!(r.first_seq(), Some(0));
+        r.take(0); // head advances over the 1..=2 hole straight to 3
+        assert_eq!(r.first_seq(), Some(3));
+        assert_eq!(occupied(&r), vec![(3, 3), (4, 4), (5, 5)]);
+    }
+
+    #[test]
+    fn pop_first_below_is_a_cumulative_drain() {
+        let mut r = SeqRing::new();
+        for seq in 5..10 {
+            r.insert(seq, seq as u32);
+        }
+        let mut popped = vec![];
+        while let Some((s, _)) = r.pop_first_below(8) {
+            popped.push(s);
+        }
+        assert_eq!(popped, vec![5, 6, 7]);
+        assert_eq!(r.first_seq(), Some(8));
+    }
+
+    #[test]
+    fn growth_preserves_contents_and_order() {
+        let mut r = SeqRing::new();
+        for seq in 0..200u64 {
+            r.insert(seq, seq as u32);
+        }
+        assert!(r.capacity() >= 200);
+        assert_eq!(r.len(), 200);
+        let got = occupied(&r);
+        assert_eq!(got.len(), 200);
+        assert!(got.iter().enumerate().all(|(i, &(s, v))| s == i as u64 && v == i as u32));
+    }
+
+    #[test]
+    fn window_slides_without_growing() {
+        let mut r = SeqRing::new();
+        for seq in 0..8u64 {
+            r.insert(seq, 0);
+        }
+        let cap = r.capacity();
+        // Slide the window far past the initial capacity: pop one, push
+        // one. Capacity must stay put.
+        for seq in 8..10_000u64 {
+            r.pop_first();
+            r.insert(seq, 0);
+        }
+        assert_eq!(r.capacity(), cap);
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.first_seq(), Some(9992));
+    }
+
+    #[test]
+    fn insert_below_head_reanchors() {
+        let mut r = SeqRing::new();
+        r.insert(20, 20);
+        r.insert(22, 22);
+        // An out-of-order arrival below the current head.
+        r.insert(17, 17);
+        assert_eq!(r.first_seq(), Some(17));
+        assert_eq!(occupied(&r), vec![(17, 17), (20, 20), (22, 22)]);
+        assert_eq!(r.take(17), Some(17));
+        assert_eq!(r.first_seq(), Some(20));
+    }
+
+    #[test]
+    fn insert_far_below_head_grows() {
+        let mut r = SeqRing::new();
+        r.insert(100, 1);
+        for seq in (0..100).rev() {
+            r.insert(seq, 2);
+        }
+        assert_eq!(r.len(), 101);
+        assert_eq!(r.first_seq(), Some(0));
+        assert_eq!(r.get(100), Some(&1));
+    }
+
+    #[test]
+    fn for_each_mut_below_respects_bound() {
+        let mut r = SeqRing::new();
+        for seq in 0..10u64 {
+            r.insert(seq, 0u32);
+        }
+        r.take(3);
+        r.for_each_mut_below(7, |_, v| *v += 1);
+        let bumped: Vec<u64> = r.iter().filter(|&(_, &v)| v == 1).map(|(s, _)| s).collect();
+        assert_eq!(bumped, vec![0, 1, 2, 4, 5, 6]);
+    }
+}

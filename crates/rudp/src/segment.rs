@@ -13,11 +13,121 @@ use iq_netsim::Time;
 /// Modelled IP + UDP + RUDP header bytes per segment.
 pub const HEADER_BYTES: u32 = 44;
 
-/// Wire bytes of an ACK segment (header + cumulative ack + SACK summary).
+/// Wire bytes of an ACK segment with no SACK ranges (header + cumulative
+/// ack + window/tolerance summary); each carried range adds
+/// [`SACK_RANGE_BYTES`].
 pub const ACK_BYTES: u32 = HEADER_BYTES + 16;
+
+/// Wire bytes per SACK range carried in an ACK (two 32-bit offsets).
+pub const SACK_RANGE_BYTES: u32 = 8;
 
 /// Default maximum RUDP segment payload (paper §3.1: 1400 bytes).
 pub const DEFAULT_MSS: u32 = 1400;
+
+/// Maximum SACK ranges reported per ACK.
+pub const MAX_SACK_RANGES: usize = 8;
+
+/// Inline storage for the SACK ranges of one ACK.
+///
+/// Ranges are `[start, end)` pairs, at most [`MAX_SACK_RANGES`] of them,
+/// kept inline so building and copying an [`AckSeg`] never touches the
+/// heap — an ACK is created for (nearly) every received data segment, so
+/// this sits directly on the steady-state hot path.
+#[derive(Debug, Clone, Copy)]
+pub struct SackRanges {
+    ranges: [(u64, u64); MAX_SACK_RANGES],
+    len: u8,
+}
+
+impl SackRanges {
+    /// An empty range list.
+    pub const fn new() -> Self {
+        Self {
+            ranges: [(0, 0); MAX_SACK_RANGES],
+            len: 0,
+        }
+    }
+
+    /// Builds a list from a slice (panics above [`MAX_SACK_RANGES`]).
+    pub fn from_slice(ranges: &[(u64, u64)]) -> Self {
+        let mut s = Self::new();
+        for &r in ranges {
+            assert!(s.push(r), "more than MAX_SACK_RANGES ranges");
+        }
+        s
+    }
+
+    /// Appends a range; returns `false` (dropping it) when full.
+    pub fn push(&mut self, range: (u64, u64)) -> bool {
+        if self.is_full() {
+            return false;
+        }
+        self.ranges[self.len as usize] = range;
+        self.len += 1;
+        true
+    }
+
+    /// Mutable access to the most recently pushed range (for merging a
+    /// contiguous extension in place).
+    pub fn last_mut(&mut self) -> Option<&mut (u64, u64)> {
+        match self.len {
+            0 => None,
+            n => Some(&mut self.ranges[n as usize - 1]),
+        }
+    }
+
+    /// The ranges as a slice.
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.ranges[..self.len as usize]
+    }
+
+    /// Number of ranges.
+    pub fn len(&self) -> usize {
+        self.len as usize
+    }
+
+    /// Whether no ranges are present.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Whether the inline capacity is exhausted.
+    pub fn is_full(&self) -> bool {
+        self.len as usize == MAX_SACK_RANGES
+    }
+
+    /// Iterates the ranges.
+    pub fn iter(&self) -> std::slice::Iter<'_, (u64, u64)> {
+        self.as_slice().iter()
+    }
+}
+
+impl Default for SackRanges {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+// Compare only the live prefix; slots past `len` are scratch.
+impl PartialEq for SackRanges {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<(u64, u64)>> for SackRanges {
+    fn eq(&self, other: &Vec<(u64, u64)>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<'a> IntoIterator for &'a SackRanges {
+    type Item = &'a (u64, u64);
+    type IntoIter = std::slice::Iter<'a, (u64, u64)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
 
 /// A data segment: one fragment of one application message.
 #[derive(Debug, Clone, PartialEq)]
@@ -55,7 +165,7 @@ pub struct AckSeg {
     /// without shipping full SACK lists through the model).
     pub highest_seen: u64,
     /// Received ranges above `cum_ack`, `[start, end)`, capped in length.
-    pub sack: Vec<(u64, u64)>,
+    pub sack: SackRanges,
     /// Remaining receive-buffer space, in segments (flow control).
     pub recv_window: u32,
     /// The receiver's *current* loss tolerance: the paper's adaptive
@@ -115,7 +225,7 @@ pub struct RudpPacket {
 pub fn wire_size(seg: &Segment) -> u32 {
     match seg {
         Segment::Data(d) => HEADER_BYTES + d.len,
-        Segment::Ack(_) => ACK_BYTES,
+        Segment::Ack(a) => ACK_BYTES + SACK_RANGE_BYTES * a.sack.len() as u32,
         Segment::Syn { .. }
         | Segment::SynAck { .. }
         | Segment::Fwd { .. }
@@ -143,22 +253,48 @@ mod tests {
         })
     }
 
+    fn ack(sack: SackRanges) -> Segment {
+        Segment::Ack(AckSeg {
+            cum_ack: 0,
+            highest_seen: 0,
+            sack,
+            recv_window: 10,
+            loss_tolerance: 0.0,
+            echo_tx_at: None,
+        })
+    }
+
     #[test]
     fn wire_sizes() {
         assert_eq!(wire_size(&data(1400)), 1444);
         assert_eq!(wire_size(&data(0)), 44);
+        assert_eq!(wire_size(&ack(SackRanges::new())), 60);
+        // Each SACK range the ACK carries costs wire bytes.
+        assert_eq!(wire_size(&ack(SackRanges::from_slice(&[(1, 2)]))), 68);
         assert_eq!(
-            wire_size(&Segment::Ack(AckSeg {
-                cum_ack: 0,
-                highest_seen: 0,
-                sack: vec![],
-                recv_window: 10,
-                loss_tolerance: 0.0,
-                echo_tx_at: None,
-            })),
-            60
+            wire_size(&ack(SackRanges::from_slice(&[(1, 2), (4, 6), (9, 10)]))),
+            84
         );
         assert_eq!(wire_size(&Segment::Fin { final_seq: 9 }), 44);
         assert_eq!(wire_size(&Segment::Syn { init_seq: 0 }), 44);
+    }
+
+    #[test]
+    fn sack_ranges_inline_semantics() {
+        let mut s = SackRanges::new();
+        assert!(s.is_empty());
+        assert!(s.push((1, 3)));
+        s.last_mut().unwrap().1 = 4;
+        assert_eq!(s.as_slice(), &[(1, 4)]);
+        assert_eq!(s, vec![(1, 4)]);
+        for i in 0..7u64 {
+            assert!(s.push((10 * (i + 1), 10 * (i + 1) + 1)));
+        }
+        assert!(s.is_full());
+        assert!(!s.push((99, 100)), "push past capacity must be dropped");
+        assert_eq!(s.len(), MAX_SACK_RANGES);
+        // Equality ignores scratch beyond `len`.
+        let t = SackRanges::from_slice(s.as_slice());
+        assert_eq!(s, t);
     }
 }

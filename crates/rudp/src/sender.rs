@@ -3,13 +3,15 @@
 //! segments, clock ticks, and application messages; outputs are segments
 //! to transmit (via [`SenderConn::poll_transmit`]) and [`ConnEvent`]s.
 
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::VecDeque;
+use std::sync::Arc;
 
 use iq_netsim::Time;
 use iq_telemetry::{CwndReason, TelemetryEvent, TelemetrySink};
 
 use crate::cc::LdaWindow;
 use crate::meter::{NetCond, PeriodMeter};
+use crate::ring::SeqRing;
 use crate::rtt::RttEstimator;
 use crate::segment::{AckSeg, DataSeg, Segment};
 use crate::types::{ConnEvent, RudpConfig, SendOutcome, SenderStats};
@@ -66,7 +68,7 @@ struct InFlight {
 
 /// The sending endpoint state machine.
 pub struct SenderConn {
-    cfg: RudpConfig,
+    cfg: Arc<RudpConfig>,
     conn_id: u32,
     state: SenderState,
     /// Next sequence number to assign at first transmission.
@@ -76,7 +78,7 @@ pub struct SenderConn {
     /// Sequence numbers awaiting retransmission.
     retx_queue: VecDeque<u64>,
     /// Transmitted but not yet acked/abandoned, keyed by seq.
-    inflight: BTreeMap<u64, InFlight>,
+    inflight: SeqRing<InFlight>,
     /// Peer's advertised window, segments.
     peer_window: u32,
     /// Peer's loss tolerance, learned from the SYN-ACK.
@@ -107,6 +109,13 @@ pub struct SenderConn {
 impl SenderConn {
     /// Creates a sender for connection `conn_id`.
     pub fn new(conn_id: u32, cfg: RudpConfig) -> Self {
+        Self::from_shared(conn_id, Arc::new(cfg))
+    }
+
+    /// Creates a sender sharing an already-wrapped configuration (the
+    /// [`crate::ConnBuilder`] path: many-flow setups build hundreds of
+    /// connections from one config without cloning it each time).
+    pub fn from_shared(conn_id: u32, cfg: Arc<RudpConfig>) -> Self {
         let window = LdaWindow::new(cfg.cc.clone());
         let meter = PeriodMeter::new(cfg.measure_period);
         let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
@@ -118,7 +127,7 @@ impl SenderConn {
             next_seq: 0,
             queue: VecDeque::new(),
             retx_queue: VecDeque::new(),
-            inflight: BTreeMap::new(),
+            inflight: SeqRing::new(),
             peer_window: 1,
             peer_tolerance: 0.0,
             fwd_dirty: false,
@@ -224,6 +233,19 @@ impl SenderConn {
         std::mem::take(&mut self.events)
     }
 
+    /// Drains pending events into a caller-owned scratch buffer: `out`
+    /// is cleared and swapped with the internal queue, so a caller that
+    /// reuses one buffer pays no allocation per poll in steady state.
+    pub fn take_events_into(&mut self, out: &mut Vec<ConnEvent>) {
+        out.clear();
+        std::mem::swap(&mut self.events, out);
+    }
+
+    /// Discards pending events (sinks that never inspect them).
+    pub fn clear_events(&mut self) {
+        self.events.clear();
+    }
+
     /// Submits an application message of `size` bytes.
     ///
     /// The message is fragmented into MSS-sized segments. Returns
@@ -268,11 +290,7 @@ impl SenderConn {
 
     /// All sequence numbers below this are acknowledged or abandoned.
     fn done_floor(&self) -> u64 {
-        self.inflight
-            .keys()
-            .next()
-            .copied()
-            .unwrap_or(self.next_seq)
+        self.inflight.first_seq().unwrap_or(self.next_seq)
     }
 
     /// Whether the loss tolerance admits abandoning one more segment.
@@ -289,7 +307,7 @@ impl SenderConn {
 
     /// Handles a segment declared lost: retransmit or abandon.
     fn on_segment_lost(&mut self, now: Time, seq: u64) {
-        let Some(entry) = self.inflight.get(&seq) else {
+        let Some(entry) = self.inflight.get(seq) else {
             return;
         };
         if entry.lost_pending {
@@ -298,11 +316,11 @@ impl SenderConn {
         let marked = entry.frag.marked;
         self.meter.on_loss();
         if marked || !self.may_abandon() {
-            let entry = self.inflight.get_mut(&seq).expect("checked above");
+            let entry = self.inflight.get_mut(seq).expect("checked above");
             entry.lost_pending = true;
             self.retx_queue.push_back(seq);
         } else {
-            self.inflight.remove(&seq);
+            self.inflight.take(seq);
             self.abandoned_total += 1;
             self.stats.segments_abandoned += 1;
             self.fwd_dirty = true;
@@ -347,40 +365,44 @@ impl SenderConn {
         // The receiver may have re-adapted its reliability requirement.
         self.peer_tolerance = ack.loss_tolerance;
 
-        // One scratch buffer serves all three phases below; taking it out
-        // of `self` keeps the borrow checker happy while `inflight` is
-        // mutated, and putting it back preserves its capacity so
-        // steady-state ACK processing never allocates.
-        let mut seqs = std::mem::take(&mut self.scratch_seqs);
-
         // Cumulative: everything below cum_ack is done at the receiver.
-        seqs.clear();
-        seqs.extend(self.inflight.range(..ack.cum_ack).map(|(&s, _)| s));
-        for &seq in &seqs {
-            let e = self.inflight.remove(&seq).expect("seq in range");
+        // Popping from the ring head is exactly this drain.
+        while let Some((_, e)) = self.inflight.pop_first_below(ack.cum_ack) {
             self.note_acked(&e);
         }
-        // Selective: ranges above cum_ack.
+        // Selective: ranges above cum_ack. Ranges are receiver-observed
+        // sequence runs, so they are bounded by the in-flight window;
+        // clamp to the ring's live span and probe each slot directly.
         for &(start, end) in &ack.sack {
-            seqs.clear();
-            seqs.extend(self.inflight.range(start..end).map(|(&s, _)| s));
-            for &seq in &seqs {
-                let e = self.inflight.remove(&seq).expect("seq in range");
-                self.note_acked(&e);
+            let lo = start.max(self.inflight.first_seq().unwrap_or(u64::MAX));
+            let hi = end.min(self.inflight.end_seq());
+            let mut seq = lo;
+            while seq < hi {
+                if let Some(e) = self.inflight.take(seq) {
+                    self.note_acked(&e);
+                }
+                seq += 1;
             }
         }
         // Loss detection: anything still in flight below the highest
         // sequence the receiver has seen gathers a dup hint per ACK.
+        // The scratch buffer collects the seqs crossing the threshold
+        // (abandonment below re-borrows `inflight`), and returning it to
+        // `self` preserves its capacity so this never allocates in
+        // steady state.
+        let mut seqs = std::mem::take(&mut self.scratch_seqs);
         seqs.clear();
-        for (&seq, entry) in self.inflight.range_mut(..ack.highest_seen) {
-            if entry.lost_pending {
-                continue;
-            }
-            entry.dup_hint += 1;
-            if entry.dup_hint >= self.cfg.dupack_threshold {
-                seqs.push(seq);
-            }
-        }
+        let dupack_threshold = self.cfg.dupack_threshold;
+        self.inflight
+            .for_each_mut_below(ack.highest_seen, |seq, entry| {
+                if entry.lost_pending {
+                    return;
+                }
+                entry.dup_hint += 1;
+                if entry.dup_hint >= dupack_threshold {
+                    seqs.push(seq);
+                }
+            });
         for &seq in &seqs {
             self.on_segment_lost(now, seq);
         }
@@ -404,12 +426,13 @@ impl SenderConn {
             }
             SenderState::Established => {
                 // RTO on the earliest outstanding segment.
-                if let Some((&seq, entry)) = self
+                let earliest = self
                     .inflight
                     .iter()
                     .find(|(_, e)| !e.lost_pending)
-                {
-                    if now >= entry.tx_at + self.rtt.rto() {
+                    .map(|(seq, e)| (seq, e.tx_at));
+                if let Some((seq, tx_at)) = earliest {
+                    if now >= tx_at + self.rtt.rto() {
                         self.stats.timeouts += 1;
                         let rto_ns = self.rtt.rto();
                         self.rtt.on_timeout();
@@ -508,7 +531,7 @@ impl SenderConn {
             SenderState::SynSent | SenderState::FinSent => Some(self.handshake_deadline),
             SenderState::Established => {
                 let mut t = self.meter.deadline();
-                if let Some(entry) = self.inflight.values().find(|e| !e.lost_pending) {
+                if let Some((_, entry)) = self.inflight.iter().find(|(_, e)| !e.lost_pending) {
                     t = t.min(entry.tx_at + self.rtt.rto());
                 }
                 Some(t)
@@ -569,7 +592,7 @@ impl SenderConn {
         }
         // 2. Retransmissions (window-exempt: they do not grow in-flight).
         while let Some(seq) = self.retx_queue.pop_front() {
-            let Some(entry) = self.inflight.get_mut(&seq) else {
+            let Some(entry) = self.inflight.get_mut(seq) else {
                 continue; // acked or abandoned meanwhile
             };
             entry.tx_at = now;
@@ -661,7 +684,7 @@ mod tests {
         S::Ack(AckSeg {
             cum_ack: cum,
             highest_seen: highest,
-            sack: vec![],
+            sack: crate::segment::SackRanges::new(),
             recv_window: 1024,
             loss_tolerance: tolerance,
             echo_tx_at: None,
@@ -744,7 +767,7 @@ mod tests {
                 &S::Ack(AckSeg {
                     cum_ack: 0,
                     highest_seen: highest,
-                    sack: vec![(1, highest)],
+                    sack: crate::segment::SackRanges::from_slice(&[(1, highest)]),
                     recv_window: 1024,
                     loss_tolerance: 0.4,
                     echo_tx_at: None,
@@ -780,7 +803,7 @@ mod tests {
                 &S::Ack(AckSeg {
                     cum_ack: 0,
                     highest_seen: highest,
-                    sack: vec![(1, highest)],
+                    sack: crate::segment::SackRanges::from_slice(&[(1, highest)]),
                     recv_window: 1024,
                     loss_tolerance: 0.4,
                     echo_tx_at: None,

@@ -1,0 +1,96 @@
+//! Zero-allocation smoke test for the steady-state ACK path.
+//!
+//! A counting global allocator wraps `System`; after a warm-up phase
+//! that sizes every ring, queue, and scratch buffer, a sustained
+//! data → ACK → drain cycle between a [`SenderConn`] and a
+//! [`ReceiverConn`] must perform **zero** heap allocations. This pins
+//! the PR's zero-alloc claims: inline SACK storage in `AckSeg`,
+//! ring-buffer transport state, and the swap-style `take_*_into` /
+//! `clear_events` drain APIs.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use iq_rudp::{ReceiverConn, RudpConfig, Segment, SenderConn};
+
+struct CountingAlloc;
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// One steady-state cycle: submit data, ship segments to the receiver,
+/// return its ACKs, drain messages and events through reused scratch.
+fn cycle(
+    now: &mut u64,
+    s: &mut SenderConn,
+    r: &mut ReceiverConn,
+    msgs: &mut Vec<iq_rudp::DeliveredMsg>,
+) {
+    for _ in 0..4 {
+        let _ = s.send_message(*now, 1000, true);
+    }
+    s.on_tick(*now);
+    while let Some(seg) = s.poll_transmit(*now) {
+        r.on_segment(*now, &seg);
+    }
+    *now += 2_000_000; // 2 ms one-way
+    while let Some(seg) = r.poll_transmit(*now) {
+        s.on_segment(*now, &seg);
+    }
+    r.take_messages_into(msgs);
+    r.clear_events();
+    s.clear_events();
+    *now += 3_000_000;
+}
+
+#[test]
+fn steady_state_ack_path_does_not_allocate() {
+    let cfg = RudpConfig::default();
+    let mut s = SenderConn::new(7, cfg.clone());
+    let mut r = ReceiverConn::new(7, cfg);
+    let mut now = 0u64;
+
+    // Handshake.
+    let syn = s.poll_transmit(now).expect("syn");
+    assert!(matches!(syn, Segment::Syn { .. }));
+    r.on_segment(now, &syn);
+    let synack = r.poll_transmit(now).expect("synack");
+    s.on_segment(now, &synack);
+
+    // Warm up: grow the inflight/reorder rings, outboxes, event vecs,
+    // and the caller-side message scratch to their steady-state sizes.
+    let mut msgs = Vec::new();
+    for _ in 0..300 {
+        cycle(&mut now, &mut s, &mut r, &mut msgs);
+    }
+
+    let before = ALLOC_CALLS.load(Ordering::Relaxed);
+    for _ in 0..200 {
+        cycle(&mut now, &mut s, &mut r, &mut msgs);
+    }
+    let delta = ALLOC_CALLS.load(Ordering::Relaxed) - before;
+    assert_eq!(
+        delta, 0,
+        "steady-state data/ACK cycles performed {delta} heap allocations"
+    );
+}

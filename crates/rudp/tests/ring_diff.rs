@@ -1,0 +1,155 @@
+//! Differential tests of [`SeqRing`] against a `BTreeMap` model.
+//!
+//! The sender's inflight table and the receiver's reorder buffer used to
+//! be `BTreeMap<u64, _>`; `SeqRing` replaced them on the hot path. These
+//! properties pin the ring to the map's observable behaviour — inserts
+//! (forward, duplicate, and below the current head), point removals,
+//! in-order pops, cumulative drains that cross holes (the `cum_ack` /
+//! `fwd_seq` abandonment paths), and bounded mutation sweeps — over
+//! randomized op streams with loss, reordering, and skips.
+
+use std::collections::BTreeMap;
+
+use iq_rudp::SeqRing;
+use proptest::{prop, prop_assert, prop_assert_eq, proptest, ProptestConfig};
+
+/// Asserts the ring and map agree on everything a caller can observe.
+fn assert_same(ring: &SeqRing<u32>, model: &BTreeMap<u64, u32>) {
+    prop_assert_eq!(ring.len(), model.len());
+    prop_assert_eq!(ring.is_empty(), model.is_empty());
+    prop_assert_eq!(ring.first_seq(), model.first_key_value().map(|(&k, _)| k));
+    let got: Vec<(u64, u32)> = ring.iter().map(|(s, &v)| (s, v)).collect();
+    let want: Vec<(u64, u32)> = model.iter().map(|(&k, &v)| (k, v)).collect();
+    prop_assert_eq!(got, want);
+    if let Some((&last, _)) = model.last_key_value() {
+        prop_assert!(ring.end_seq() > last, "end_seq must cover the last entry");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn ring_matches_btreemap_under_random_ops(
+        ops in prop::collection::vec((0u32..7, 0u64..48), 1..400),
+    ) {
+        let mut ring: SeqRing<u32> = SeqRing::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut cursor = 16u64; // headroom for below-head inserts
+        let mut tick = 0u32;
+
+        for &(op, raw) in &ops {
+            tick += 1;
+            match op {
+                // Forward insert at (or slightly past) the cursor,
+                // leaving reorder holes behind.
+                0 => {
+                    let seq = cursor + raw % 4;
+                    cursor = seq + 1;
+                    prop_assert_eq!(ring.insert(seq, tick), model.insert(seq, tick));
+                }
+                // Insert at or below the current head: the ring must
+                // re-anchor (and possibly grow) without losing entries.
+                1 => {
+                    let head = ring.first_seq().unwrap_or(cursor);
+                    let seq = head.saturating_sub(raw % 8);
+                    prop_assert_eq!(ring.insert(seq, tick), model.insert(seq, tick));
+                }
+                // Point removal of an existing key (SACK-style).
+                2 => {
+                    let seq = model
+                        .keys()
+                        .nth(raw as usize % model.len().max(1))
+                        .copied()
+                        .unwrap_or(raw);
+                    prop_assert_eq!(ring.take(seq), model.remove(&seq));
+                }
+                // Point removal of an arbitrary (likely absent) key.
+                3 => {
+                    prop_assert_eq!(ring.take(raw), model.remove(&raw));
+                }
+                // In-order pop.
+                4 => {
+                    prop_assert_eq!(ring.pop_first(), model.pop_first());
+                }
+                // Cumulative drain below a bound, crossing holes — the
+                // `cum_ack` / `fwd_seq` abandonment path. The bound can
+                // land far past the head.
+                5 => {
+                    let bound = ring.first_seq().unwrap_or(0) + raw;
+                    loop {
+                        let want = model
+                            .first_key_value()
+                            .filter(|&(&k, _)| k < bound)
+                            .map(|(&k, &v)| (k, v));
+                        let got = ring.pop_first_below(bound);
+                        prop_assert_eq!(got, want);
+                        if want.is_none() {
+                            break;
+                        }
+                        model.pop_first();
+                    }
+                }
+                // Bounded mutation sweep (the dup-ack hint scan).
+                _ => {
+                    let bound = ring.first_seq().unwrap_or(0) + raw;
+                    let mut visited = Vec::new();
+                    ring.for_each_mut_below(bound, |seq, v| {
+                        *v = v.wrapping_add(1);
+                        visited.push(seq);
+                    });
+                    let mut expected = Vec::new();
+                    for (&k, v) in model.range_mut(..bound) {
+                        *v = v.wrapping_add(1);
+                        expected.push(k);
+                    }
+                    prop_assert_eq!(visited, expected, "sweep order/coverage");
+                }
+            }
+            assert_same(&ring, &model);
+        }
+    }
+
+    /// A receiver-shaped stream: segments from a sliding window arrive
+    /// reordered, some are lost, and every few arrivals the sender's
+    /// `fwd_seq` floor jumps ahead, abandoning everything below — the
+    /// drain must cross the ring head and any holes in one sweep.
+    #[test]
+    fn receiver_stream_with_loss_reorder_and_fwd_skips(
+        arrivals in prop::collection::vec((0u64..24, prop::bool::weighted(0.8)), 1..300),
+        fwd_step in 1u64..40,
+    ) {
+        let mut ring: SeqRing<u32> = SeqRing::new();
+        let mut model: BTreeMap<u64, u32> = BTreeMap::new();
+        let mut base = 0u64;
+        let mut floor = 0u64;
+
+        for (i, &(offset, keep)) in arrivals.iter().enumerate() {
+            // The window slides forward as the stream progresses.
+            if i % 5 == 4 {
+                base += offset % 6;
+            }
+            let seq = base + offset;
+            if keep && seq >= floor {
+                let v = seq as u32;
+                prop_assert_eq!(ring.insert(seq, v), model.insert(seq, v));
+            }
+            // Periodic fwd_seq abandonment, possibly past the head and
+            // across holes left by losses.
+            if i % 7 == 6 {
+                floor += fwd_step;
+                while let Some((got_seq, got_v)) = ring.pop_first_below(floor) {
+                    let (want_seq, want_v) = model.pop_first().expect("model ahead of ring");
+                    prop_assert_eq!((got_seq, got_v), (want_seq, want_v));
+                }
+                prop_assert!(
+                    model.first_key_value().is_none_or(|(&k, _)| k >= floor),
+                    "ring stopped draining before the floor"
+                );
+            }
+            prop_assert_eq!(ring.len(), model.len());
+            prop_assert_eq!(ring.first_seq(), model.first_key_value().map(|(&k, _)| k));
+        }
+        assert_same(&ring, &model);
+    }
+}

@@ -102,7 +102,10 @@ pub fn jitter_series_ms(records: &[TelemetryRecord], flow: u64) -> Vec<(u64, f64
         }
         if let TelemetryEvent::MsgDelivered { .. } = r.event {
             if let Some(prev) = prev_at {
-                let gap_s = (r.at - prev) as f64 / 1e9;
+                // `* 1e-9`, not `/ 1e9`: must stay bit-identical to
+                // `FlowMetrics::record_gap`, which uses the multiply
+                // form on its hot path.
+                let gap_s = (r.at - prev) as f64 * 1e-9;
                 count += 1;
                 let delta = gap_s - mean;
                 mean += delta / count as f64;

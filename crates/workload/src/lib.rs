@@ -33,8 +33,6 @@ const SEND_TOKEN: u64 = 1;
 pub struct CbrSource {
     dst: Addr,
     flow: FlowId,
-    /// Target rate in bits per second.
-    rate_bps: f64,
     /// Datagram payload size in bytes.
     datagram_bytes: u32,
     /// Stop after this many datagrams (`u64::MAX` = unbounded).
@@ -42,19 +40,23 @@ pub struct CbrSource {
     sent: u64,
     /// Start delay before the first datagram.
     start_after: TimeDelta,
+    /// Inter-datagram gap, precomputed once: the source re-arms its
+    /// timer on every send, so this sits on the per-packet path.
+    interval: TimeDelta,
 }
 
 impl CbrSource {
     /// Creates an unbounded CBR source.
     pub fn new(dst: Addr, flow: FlowId, rate_bps: f64, datagram_bytes: u32) -> Self {
+        let wire = f64::from(datagram_bytes + UDP_HEADER_BYTES) * 8.0;
         Self {
             dst,
             flow,
-            rate_bps,
             datagram_bytes,
             limit: u64::MAX,
             sent: 0,
             start_after: 0,
+            interval: time::secs(wire / rate_bps.max(1.0)),
         }
     }
 
@@ -68,12 +70,6 @@ impl CbrSource {
     pub fn with_limit(mut self, datagrams: u64) -> Self {
         self.limit = datagrams;
         self
-    }
-
-    /// Interval between datagrams at the configured rate.
-    fn interval(&self) -> TimeDelta {
-        let wire = f64::from(self.datagram_bytes + UDP_HEADER_BYTES) * 8.0;
-        time::secs(wire / self.rate_bps.max(1.0))
     }
 
     /// Datagrams sent so far.
@@ -101,7 +97,7 @@ impl Agent for CbrSource {
         );
         self.sent += 1;
         if self.sent < self.limit {
-            ctx.set_timer(self.interval(), SEND_TOKEN);
+            ctx.set_timer(self.interval, SEND_TOKEN);
         }
     }
 }

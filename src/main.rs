@@ -142,8 +142,12 @@ fn cmd_bench(args: &[String]) {
             );
             for sc in &run.scenarios {
                 println!(
-                    "  {:<16} {:>10} events  {:>8.3}s  {:>12.0} events/s",
-                    sc.name, sc.events, sc.wall_s, sc.events_per_sec
+                    "  {:<16} {:>10} events  {:>8.3}s  {:>12.0} events/s  rss {:>7.1} MiB",
+                    sc.name,
+                    sc.events,
+                    sc.wall_s,
+                    sc.events_per_sec,
+                    sc.peak_rss_bytes as f64 / (1024.0 * 1024.0)
                 );
             }
         }
