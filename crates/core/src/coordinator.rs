@@ -73,6 +73,11 @@ struct PendingAdaptation {
 /// The coordinator does not own the connection; every call borrows it.
 /// This lets the embedding agent keep the connection inside its
 /// [`iq_rudp::SenderDriver`] while the coordinator supplies policy.
+///
+/// `Clone` is shallow for the attribute registry (an [`AttrService`]
+/// shares its store across clones); model-checker worlds that need
+/// independent copies must run without one attached.
+#[derive(Clone)]
 pub struct Coordinator {
     mode: CoordinationMode,
     pending: Option<PendingAdaptation>,
@@ -115,6 +120,36 @@ impl Coordinator {
     /// What coordination has done so far.
     pub fn log(&self) -> CoordinationLog {
         self.log
+    }
+
+    /// Whether a deferred adaptation is armed (announced, not executed).
+    pub fn has_pending(&self) -> bool {
+        self.pending.is_some()
+    }
+
+    /// The smoothed error ratio snapshotted when the armed deferral was
+    /// announced, if one is armed.
+    pub fn pending_eratio(&self) -> Option<f64> {
+        self.pending.map(|p| p.eratio_at_announce)
+    }
+
+    /// Folds the coordination state into a model-checker digest.
+    pub fn state_digest(&self, h: &mut iq_telemetry::Fnv64) {
+        h.write_u8(match self.mode {
+            CoordinationMode::Uncoordinated => 0,
+            CoordinationMode::Coordinated => 1,
+            CoordinationMode::CoordinatedWithCond => 2,
+        });
+        h.write_bool(self.pending.is_some());
+        h.write_f64(self.pending.map_or(0.0, |p| p.eratio_at_announce));
+        h.write_u64(u64::from(self.last_msg_size));
+        h.write_u64(u64::from(self.mss));
+        h.write_u64(self.log.window_rescales);
+        h.write_u64(self.log.cond_corrections);
+        h.write_u64(self.log.reliability_reports);
+        h.write_u64(self.log.deferred_announcements);
+        h.write_u64(self.log.frequency_reports);
+        h.write_f64(self.log.cumulative_factor);
     }
 
     /// The application-facing send call: `CMwritev_attr`. Attributes

@@ -170,12 +170,9 @@ fn fingerprint(r: &RunResult) -> Vec<u64> {
     );
     // FNV-1a over the serialized telemetry: any byte-level divergence
     // between runs is a determinism bug just like a metric mismatch.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in r.telemetry.as_bytes() {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    fp.push(h);
+    let mut h = iq_telemetry::Fnv64::new();
+    h.write(r.telemetry.as_bytes());
+    fp.push(h.finish());
     fp
 }
 

@@ -66,7 +66,7 @@ pub use agent::{Agent, Ctx, TimerId};
 pub use link::{LinkSpec, LinkStats, QueueDiscipline, RedParams};
 pub use packet::{payload, Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
 pub use routing::RoutingTable;
-pub use sched::EventQueue;
+pub use sched::{EventQueue, EventSource};
 pub use sim::{SimCounters, Simulator};
 pub use slab::{PacketKey, TimerKey};
 pub use time::{Time, TimeDelta};

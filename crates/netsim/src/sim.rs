@@ -24,7 +24,7 @@ use crate::event::{Event, EventKind};
 use crate::link::{Enqueue, LinkSpec, LinkState, LinkStats};
 use crate::packet::{Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
 use crate::routing::RoutingTable;
-use crate::sched::EventQueue;
+use crate::sched::{EventQueue, EventSource};
 use crate::slab::{PacketKey, PacketSlab, TimerKey, TimerSlab};
 use crate::time::{Time, TimeDelta};
 use crate::trace::{PacketEvent, PacketEventKind, TraceCollector};
@@ -72,7 +72,7 @@ impl SimCore {
     fn schedule(&mut self, at: Time, kind: EventKind) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.queue.push(Event { at, seq, kind });
+        EventSource::push_event(&mut self.queue, Event { at, seq, kind });
     }
 
     /// Agent registered at `addr`, via the dense per-node port table.
@@ -441,7 +441,7 @@ impl Simulator {
 
     /// Executes a single event. Returns `false` when the queue is empty.
     fn step(&mut self) -> bool {
-        match self.core.queue.pop() {
+        match EventSource::next_event(&mut self.core.queue) {
             Some(ev) => {
                 self.exec_event(ev);
                 true
@@ -487,7 +487,7 @@ impl Simulator {
         self.ensure_routes();
         self.core.stopped = false;
         while !self.core.stopped {
-            match self.core.queue.pop_before(deadline) {
+            match EventSource::next_event_before(&mut self.core.queue, deadline) {
                 Some(ev) => self.exec_event(ev),
                 None => break,
             }

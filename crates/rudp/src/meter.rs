@@ -114,6 +114,19 @@ impl PeriodMeter {
     pub fn last(&self) -> NetCond {
         self.last
     }
+
+    /// Folds the meter state into a model-checker digest. Times are
+    /// hashed relative to `now` so equivalent states reached at
+    /// different absolute clocks still collide.
+    pub(crate) fn digest(&self, now: Time, h: &mut iq_telemetry::Fnv64) {
+        h.write_u64(self.deadline().saturating_sub(now));
+        h.write_u64(self.sent);
+        h.write_u64(self.lost);
+        h.write_u64(self.acked_bytes);
+        h.write_f64(self.last.eratio);
+        h.write_f64(self.last.eratio_smoothed);
+        h.write_f64(self.last.rate_kbps);
+    }
 }
 
 #[cfg(test)]

@@ -13,7 +13,7 @@ use crate::segment::{AckSeg, DataSeg, SackRanges, Segment};
 use crate::types::{ConnEvent, DeliveredMsg, ReceiverStats, RudpConfig};
 
 /// In-progress reassembly of one application message.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct Assembly {
     msg_id: u64,
     frag_count: u16,
@@ -24,6 +24,7 @@ struct Assembly {
 }
 
 /// The receiving endpoint state machine.
+#[derive(Debug, Clone)]
 pub struct ReceiverConn {
     cfg: Arc<RudpConfig>,
     conn_id: u32,
@@ -383,6 +384,50 @@ impl ReceiverConn {
     /// Produces the next outgoing segment (SYN-ACK / ACK / FIN-ACK).
     pub fn poll_transmit(&mut self, _now: Time) -> Option<Segment> {
         self.outbox.pop_front()
+    }
+
+    /// Whether the receiver already holds `seq` (delivered, skipped, or
+    /// buffered out of order). Used by tests and the model checker to
+    /// detect spurious retransmissions of data the receiver has.
+    pub fn has_segment(&self, seq: u64) -> bool {
+        seq < self.next_required || self.buffer.contains(seq)
+    }
+
+    /// Folds the full control state into a model-checker digest (the
+    /// receiving-side counterpart of [`crate::SenderConn::state_digest`]).
+    pub fn state_digest(&self, now: Time, h: &mut iq_telemetry::Fnv64) {
+        h.write_bool(self.established);
+        h.write_f64(self.tolerance);
+        h.write_u64(self.next_required);
+        h.write_u64(self.highest_seen);
+        h.write_u64(self.buffer.len() as u64);
+        for (seq, d) in self.buffer.iter() {
+            h.write_u64(seq);
+            h.write_u64(d.msg_id);
+            h.write_u64(u64::from(d.frag_idx));
+            h.write_u64(u64::from(d.frag_count));
+            h.write_u64(u64::from(d.len));
+            h.write_bool(d.marked);
+        }
+        h.write_bool(self.assembly.is_some());
+        if let Some(a) = &self.assembly {
+            h.write_u64(a.msg_id);
+            h.write_u64(u64::from(a.frag_count));
+            h.write_u64(u64::from(a.next_frag));
+            h.write_u64(u64::from(a.bytes));
+            h.write_bool(a.marked);
+        }
+        h.write_bool(self.poisoned);
+        h.write_u64(self.delivered.len() as u64);
+        h.write_u64(self.outbox.len() as u64);
+        for seg in &self.outbox {
+            seg.state_digest(now, h);
+        }
+        h.write_bool(self.fin_seq.is_some());
+        h.write_u64(self.fin_seq.unwrap_or(0));
+        h.write_bool(self.finished);
+        h.write_u64(u64::from(self.unacked_in_order));
+        h.write_u64(self.events.len() as u64);
     }
 }
 

@@ -73,12 +73,15 @@ impl<T> SeqRing<T> {
     }
 
     /// One past the highest sequence the window covers (0 when empty).
-    /// Occupied seqs all satisfy `first_seq() <= seq < end_seq()`.
+    /// Occupied seqs all satisfy `first_seq() <= seq < end_seq()`,
+    /// except when the window abuts `u64::MAX`: the sum saturates there
+    /// instead of overflowing, so an entry at `u64::MAX` itself reports
+    /// `end_seq() == u64::MAX`.
     pub fn end_seq(&self) -> u64 {
         if self.len == 0 {
             0
         } else {
-            self.head_seq + self.span as u64
+            self.head_seq.saturating_add(self.span as u64)
         }
     }
 
@@ -361,6 +364,96 @@ mod tests {
         assert_eq!(r.len(), 101);
         assert_eq!(r.first_seq(), Some(0));
         assert_eq!(r.get(100), Some(&1));
+    }
+
+    #[test]
+    fn wraparound_adjacent_seqs() {
+        // Sequence numbers right at the top of the u64 space: the
+        // window arithmetic must not overflow (`end_seq` saturates
+        // instead of panicking when an entry sits at u64::MAX).
+        let top = u64::MAX;
+        let mut r = SeqRing::new();
+        r.insert(top - 3, 3u32);
+        r.insert(top - 1, 1);
+        r.insert(top, 0);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.first_seq(), Some(top - 3));
+        assert_eq!(r.end_seq(), top); // saturated, not wrapped
+        assert_eq!(
+            occupied(&r),
+            vec![(top - 3, 3), (top - 1, 1), (top, 0)]
+        );
+        assert_eq!(r.get(top - 2), None);
+        // Re-anchor backwards while the window touches the top.
+        r.insert(top - 6, 6);
+        assert_eq!(r.first_seq(), Some(top - 6));
+        assert_eq!(r.take(top - 6), Some(6));
+        assert_eq!(r.take(top - 3), Some(3));
+        assert_eq!(r.first_seq(), Some(top - 1));
+        // Drain everything through the cumulative path; `pop_first` on
+        // the final top-of-space entry must not advance head_seq past
+        // u64::MAX.
+        assert_eq!(r.pop_first(), Some((top - 1, 1)));
+        assert_eq!(r.pop_first(), Some((top, 0)));
+        assert!(r.is_empty());
+        assert_eq!(r.end_seq(), 0);
+    }
+
+    #[test]
+    fn growth_with_gap_spanning_ring_boundary() {
+        // Build a window that physically wraps the slab boundary with a
+        // reassembly hole in the middle, then force a grow: the relocated
+        // window must preserve contents, order, and the hole.
+        let mut r = SeqRing::new();
+        for seq in 0..8u64 {
+            r.insert(seq, seq as u32);
+        }
+        assert_eq!(r.capacity(), 8);
+        for _ in 0..6 {
+            r.pop_first();
+        }
+        // head now sits at physical index 6; extend the window across
+        // the boundary, skipping seq 9 (the gap).
+        r.insert(8, 8);
+        for seq in 10..13u64 {
+            r.insert(seq, seq as u32);
+        }
+        assert_eq!(r.capacity(), 8, "still within the original slab");
+        // One more lands past the slab: grow while the gap spans the old
+        // physical boundary.
+        r.insert(14, 14);
+        assert!(r.capacity() > 8);
+        assert_eq!(
+            occupied(&r),
+            vec![(6, 6), (7, 7), (8, 8), (10, 10), (11, 11), (12, 12), (14, 14)]
+        );
+        assert_eq!(r.get(9), None);
+        assert_eq!(r.get(13), None);
+        assert_eq!(r.end_seq(), 15);
+    }
+
+    #[test]
+    fn insert_at_capacity_grows_instead_of_evicting() {
+        // Exactly filling the slab and then inserting one past it must
+        // grow, never silently overwrite the oldest entry.
+        let mut r = SeqRing::new();
+        for seq in 0..8u64 {
+            r.insert(seq, seq as u32);
+        }
+        assert_eq!(r.len(), r.capacity());
+        r.insert(8, 8);
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.get(0), Some(&0), "oldest entry survived the grow");
+        assert_eq!(r.get(8), Some(&8));
+        // Same at the re-anchor path: a backward insert past capacity.
+        let mut r = SeqRing::new();
+        for seq in 100..108u64 {
+            r.insert(seq, seq as u32);
+        }
+        r.insert(99, 99);
+        assert_eq!(r.len(), 9);
+        assert_eq!(r.first_seq(), Some(99));
+        assert_eq!(r.get(107), Some(&107));
     }
 
     #[test]

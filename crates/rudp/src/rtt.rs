@@ -87,6 +87,14 @@ impl RttEstimator {
     pub fn backoff(&self) -> u32 {
         self.backoff
     }
+
+    /// Folds the estimator state into a model-checker digest.
+    pub(crate) fn digest(&self, h: &mut iq_telemetry::Fnv64) {
+        h.write_bool(self.srtt.is_some());
+        h.write_f64(self.srtt.unwrap_or(0.0));
+        h.write_f64(self.rttvar);
+        h.write_u64(u64::from(self.backoff));
+    }
 }
 
 #[cfg(test)]

@@ -211,6 +211,65 @@ pub enum Segment {
     FinAck,
 }
 
+impl Segment {
+    /// Folds the segment into a model-checker state digest. Timestamps
+    /// are hashed relative to `now` so equivalent in-flight sets reached
+    /// at different absolute clocks still collide in the visited table.
+    pub fn state_digest(&self, now: Time, h: &mut iq_telemetry::Fnv64) {
+        match self {
+            Segment::Syn { init_seq } => {
+                h.write_u8(0);
+                h.write_u64(*init_seq);
+            }
+            Segment::SynAck {
+                loss_tolerance,
+                recv_window,
+            } => {
+                h.write_u8(1);
+                h.write_f64(*loss_tolerance);
+                h.write_u64(u64::from(*recv_window));
+            }
+            Segment::Data(d) => {
+                h.write_u8(2);
+                h.write_u64(d.seq);
+                h.write_u64(d.msg_id);
+                h.write_u64(u64::from(d.frag_idx));
+                h.write_u64(u64::from(d.frag_count));
+                h.write_u64(u64::from(d.len));
+                h.write_bool(d.marked);
+                h.write_u64(d.fwd_seq);
+                h.write_u64(now.saturating_sub(d.msg_sent_at));
+                h.write_u64(now.saturating_sub(d.tx_at));
+                h.write_bool(d.retransmit);
+            }
+            Segment::Ack(a) => {
+                h.write_u8(3);
+                h.write_u64(a.cum_ack);
+                h.write_u64(a.highest_seen);
+                for &(s, e) in &a.sack {
+                    h.write_u64(s);
+                    h.write_u64(e);
+                }
+                h.write_u64(u64::from(a.recv_window));
+                h.write_f64(a.loss_tolerance);
+                h.write_bool(a.echo_tx_at.is_some());
+                if let Some(t) = a.echo_tx_at {
+                    h.write_u64(now.saturating_sub(t));
+                }
+            }
+            Segment::Fwd { fwd_seq } => {
+                h.write_u8(4);
+                h.write_u64(*fwd_seq);
+            }
+            Segment::Fin { final_seq } => {
+                h.write_u8(5);
+                h.write_u64(*final_seq);
+            }
+            Segment::FinAck => h.write_u8(6),
+        }
+    }
+}
+
 /// A segment stamped with the connection it belongs to; this is the
 /// payload type placed in simulator packets.
 #[derive(Debug, Clone, PartialEq)]

@@ -67,6 +67,7 @@ struct InFlight {
 }
 
 /// The sending endpoint state machine.
+#[derive(Debug, Clone)]
 pub struct SenderConn {
     cfg: Arc<RudpConfig>,
     conn_id: u32,
@@ -359,7 +360,15 @@ impl SenderConn {
             return;
         }
         if let Some(tx_at) = ack.echo_tx_at {
-            self.rtt.sample_times(tx_at, now);
+            // Karn's rule: the receiver echoes a timestamp only for
+            // segments that were neither retransmissions nor duplicates
+            // (see `ReceiverConn::on_data`), so every echo reaching this
+            // point is a genuine first-transmission RTT. A peer that
+            // mis-stamps an echo from the future would still poison the
+            // estimator, so reject those outright.
+            if tx_at <= now {
+                self.rtt.sample_times(tx_at, now);
+            }
         }
         self.peer_window = ack.recv_window.max(1);
         // The receiver may have re-adapted its reliability requirement.
@@ -390,11 +399,29 @@ impl SenderConn {
         // (abandonment below re-borrows `inflight`), and returning it to
         // `self` preserves its capacity so this never allocates in
         // steady state.
+        //
+        // When the SACK block is full the receiver may have had more
+        // reassembly holes than the wire format carries, and everything
+        // above the last reported range is *unreported*, not missing:
+        // segments the receiver actually holds must not gather hints
+        // there, or they get spuriously fast-retransmitted and counted
+        // as losses. Clamp the sweep to the end of reported coverage;
+        // the tail holes start gathering hints once earlier ranges ack
+        // out and the SACK window slides over them, and the RTO still
+        // backstops everything.
+        let dup_horizon = if ack.sack.is_full() {
+            ack.sack
+                .as_slice()
+                .last()
+                .map_or(ack.cum_ack, |&(_, end)| end)
+        } else {
+            ack.highest_seen
+        };
         let mut seqs = std::mem::take(&mut self.scratch_seqs);
         seqs.clear();
         let dupack_threshold = self.cfg.dupack_threshold;
         self.inflight
-            .for_each_mut_below(ack.highest_seen, |seq, entry| {
+            .for_each_mut_below(dup_horizon, |seq, entry| {
                 if entry.lost_pending {
                     return;
                 }
@@ -425,35 +452,47 @@ impl SenderConn {
                 self.rtt.on_timeout();
             }
             SenderState::Established => {
-                // RTO on the earliest outstanding segment.
-                let earliest = self
-                    .inflight
-                    .iter()
-                    .find(|(_, e)| !e.lost_pending)
-                    .map(|(seq, e)| (seq, e.tx_at));
-                if let Some((seq, tx_at)) = earliest {
-                    if now >= tx_at + self.rtt.rto() {
-                        self.stats.timeouts += 1;
-                        let rto_ns = self.rtt.rto();
-                        self.rtt.on_timeout();
-                        let cwnd = self.window.on_timeout();
-                        self.telemetry.emit_with(now, self.telemetry_flow, || {
-                            TelemetryEvent::RtoFired {
-                                seq,
-                                rto_ns,
-                                backoff: self.rtt.backoff(),
-                            }
-                        });
-                        self.telemetry.emit(
-                            now,
-                            self.telemetry_flow,
-                            TelemetryEvent::CwndUpdate {
-                                cwnd,
-                                reason: CwndReason::Timeout,
-                            },
-                        );
-                        self.on_segment_lost(now, seq);
+                // RTO on the earliest outstanding segment. Every segment
+                // whose deadline has passed is declared lost in this one
+                // tick: handling only the first and leaving the rest to
+                // the re-armed timer would make `next_timeout` return an
+                // already-expired deadline, which the driver turns into
+                // a burst of zero-delay timer events (one per expired
+                // segment). The loop terminates because each iteration
+                // marks its segment `lost_pending` (or abandons it),
+                // removing it from the earliest-outstanding search, and
+                // the per-iteration Karn backoff pushes the RTO out for
+                // whatever remains.
+                loop {
+                    let earliest = self
+                        .inflight
+                        .iter()
+                        .find(|(_, e)| !e.lost_pending)
+                        .map(|(seq, e)| (seq, e.tx_at));
+                    let Some((seq, tx_at)) = earliest else { break };
+                    if now < tx_at + self.rtt.rto() {
+                        break;
                     }
+                    self.stats.timeouts += 1;
+                    let rto_ns = self.rtt.rto();
+                    self.rtt.on_timeout();
+                    let cwnd = self.window.on_timeout();
+                    self.telemetry.emit_with(now, self.telemetry_flow, || {
+                        TelemetryEvent::RtoFired {
+                            seq,
+                            rto_ns,
+                            backoff: self.rtt.backoff(),
+                        }
+                    });
+                    self.telemetry.emit(
+                        now,
+                        self.telemetry_flow,
+                        TelemetryEvent::CwndUpdate {
+                            cwnd,
+                            reason: CwndReason::Timeout,
+                        },
+                    );
+                    self.on_segment_lost(now, seq);
                 }
                 // Measuring period.
                 let srtt_ms = self.rtt.srtt_ms();
@@ -524,19 +563,29 @@ impl SenderConn {
     }
 
     /// Earliest time at which [`Self::on_tick`] must run again.
-    pub fn next_timeout(&self, _now: Time) -> Option<Time> {
-        match self.state {
-            SenderState::Closed => None,
-            SenderState::Idle => Some(0),
-            SenderState::SynSent | SenderState::FinSent => Some(self.handshake_deadline),
+    ///
+    /// Never returns a time before `now`: a deadline at or below `now`
+    /// is work [`Self::on_tick`] dispatches when called *at* `now`, and
+    /// after the usual tick → poll cycle every internal deadline is
+    /// strictly in the future again (the RTO loop marks all expired
+    /// segments lost, the meter rolls, and the poll resets a due
+    /// handshake deadline). Returning stale deadlines made drivers
+    /// re-arm at a past instant and spin on zero-delay timers.
+    pub fn next_timeout(&self, now: Time) -> Option<Time> {
+        let t = match self.state {
+            SenderState::Closed => return None,
+            // Nothing is armed yet; the first poll starts the handshake.
+            SenderState::Idle => 0,
+            SenderState::SynSent | SenderState::FinSent => self.handshake_deadline,
             SenderState::Established => {
                 let mut t = self.meter.deadline();
                 if let Some((_, entry)) = self.inflight.iter().find(|(_, e)| !e.lost_pending) {
                     t = t.min(entry.tx_at + self.rtt.rto());
                 }
-                Some(t)
+                t
             }
-        }
+        };
+        Some(t.max(now))
     }
 
     /// Whether a new (never-transmitted) segment fits in the windows.
@@ -658,6 +707,65 @@ impl SenderConn {
             });
         }
         None
+    }
+
+    /// Folds the full control state into a model-checker digest.
+    ///
+    /// Every field that can influence future behavior is included;
+    /// timestamps are hashed relative to `now` so equivalent states
+    /// reached at different absolute clocks still collide in a visited
+    /// table. `msg_sent_at` is deliberately time-relative too (it only
+    /// feeds delivery-latency accounting, but keeping it makes the hash
+    /// an over- rather than under-approximation of state identity).
+    pub fn state_digest(&self, now: Time, h: &mut iq_telemetry::Fnv64) {
+        h.write_u8(match self.state {
+            SenderState::Idle => 0,
+            SenderState::SynSent => 1,
+            SenderState::Established => 2,
+            SenderState::FinSent => 3,
+            SenderState::Closed => 4,
+        });
+        h.write_u64(self.next_seq);
+        h.write_u64(self.next_msg_id);
+        h.write_u64(u64::from(self.peer_window));
+        h.write_f64(self.peer_tolerance);
+        h.write_bool(self.fwd_dirty);
+        h.write_bool(self.handshake_dirty);
+        h.write_u64(self.handshake_deadline.saturating_sub(now));
+        h.write_u64(self.queue.len() as u64);
+        for f in &self.queue {
+            h.write_u64(f.msg_id);
+            h.write_u64(u64::from(f.frag_idx));
+            h.write_u64(u64::from(f.len));
+            h.write_bool(f.marked);
+        }
+        h.write_u64(self.retx_queue.len() as u64);
+        for &seq in &self.retx_queue {
+            h.write_u64(seq);
+        }
+        h.write_u64(self.inflight.len() as u64);
+        for (seq, e) in self.inflight.iter() {
+            h.write_u64(seq);
+            h.write_u64(now.saturating_sub(e.tx_at));
+            h.write_bool(e.retransmitted);
+            h.write_u64(u64::from(e.dup_hint));
+            h.write_bool(e.lost_pending);
+            h.write_bool(e.frag.marked);
+            h.write_u64(u64::from(e.frag.len));
+        }
+        h.write_f64(self.window.cwnd());
+        self.rtt.digest(h);
+        self.meter.digest(now, h);
+        h.write_bool(self.finish_requested);
+        h.write_bool(self.discard_unmarked);
+        h.write_u64(self.abandoned_total);
+        h.write_u8(match self.thresh_zone {
+            ThreshZone::Low => 0,
+            ThreshZone::Mid => 1,
+            ThreshZone::High => 2,
+        });
+        h.write_u64(self.stats.segments_acked);
+        h.write_u64(self.events.len() as u64);
     }
 }
 

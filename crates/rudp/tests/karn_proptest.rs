@@ -1,0 +1,173 @@
+//! Karn's-rule property test: the RTT estimator never collapses below
+//! the true path RTT, no matter how transmissions are dropped, delayed,
+//! or retransmitted.
+//!
+//! The dangerous failure mode of retransmission ambiguity is
+//! *undershoot*: matching an ACK triggered by a slow original against
+//! the (later) retransmission time yields a sample shorter than any
+//! packet actually took. IQ-RUDP avoids this end to end: the receiver
+//! echoes the arriving segment's own `tx_at` and suppresses the echo
+//! for retransmissions and duplicates, and the sender additionally
+//! rejects echoes stamped in the future. The property here drives a
+//! sender/receiver pair over a two-sided 10 ms path whose data
+//! transmissions suffer random loss and random extra queueing delay
+//! (so originals can overtake their own retransmissions in wall-clock
+//! terms), and asserts the smoothed RTT — whenever seeded — never
+//! drops below the 20 ms propagation floor.
+
+use proptest::{prop, proptest, ProptestConfig};
+
+use iq_rudp::{AckSeg, ReceiverConn, RudpConfig, SackRanges, Segment, SenderConn};
+
+/// One-way propagation delay, nanoseconds (10 ms).
+const D: u64 = 10_000_000;
+/// True path RTT floor, milliseconds.
+const FLOOR_MS: f64 = 2.0 * (D as f64) / 1e6;
+/// Simulation step (1 ms) and horizon (3 s).
+const STEP: u64 = 1_000_000;
+const HORIZON: u64 = 3_000_000_000;
+
+fn establish(cfg: &RudpConfig) -> (SenderConn, ReceiverConn) {
+    let mut s = SenderConn::new(7, cfg.clone());
+    let mut r = ReceiverConn::new(7, cfg.clone());
+    let syn = s.poll_transmit(0).expect("syn");
+    r.on_segment(0, &syn);
+    let synack = r.poll_transmit(0).expect("synack");
+    s.on_segment(0, &synack);
+    (s, r)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random loss + jitter never drags SRTT below the propagation RTT.
+    #[test]
+    fn srtt_never_collapses_below_path_rtt(
+        drops in prop::collection::vec(prop::bool::weighted(0.3), 64..65),
+        extras_ms in prop::collection::vec(0u64..40, 64..65),
+    ) {
+        // Guarantee the property is exercised: at least one data
+        // transmission is lost, forcing a retransmission.
+        let mut drops = drops;
+        if !drops.iter().any(|&b| b) {
+            drops[0] = true;
+        }
+
+        let cfg = RudpConfig::default();
+        let (mut s, mut r) = establish(&cfg);
+        // (arrival, insertion-order, segment) kept sorted by arrival.
+        let mut to_recv: Vec<(u64, u64, Segment)> = Vec::new();
+        let mut to_send: Vec<(u64, u64, Segment)> = Vec::new();
+        let mut order = 0u64;
+        let mut data_tx = 0usize; // indexes drops/extras per transmission
+        let mut submitted = 0u32;
+
+        let mut now = 0u64;
+        while now <= HORIZON {
+            // Application offers a message every 5 ms, 30 in total.
+            if submitted < 30 && now.is_multiple_of(5 * STEP) {
+                let _ = s.send_message(now, 1000, true);
+                submitted += 1;
+            }
+
+            s.on_tick(now);
+            while let Some(seg) = s.poll_transmit(now) {
+                if let Segment::Data(_) = seg {
+                    let dropped = drops.get(data_tx).copied().unwrap_or(false);
+                    let extra = extras_ms.get(data_tx).copied().unwrap_or(0) * STEP;
+                    data_tx += 1;
+                    if dropped {
+                        continue;
+                    }
+                    to_recv.push((now + D + extra, order, seg));
+                } else {
+                    to_recv.push((now + D, order, seg));
+                }
+                order += 1;
+            }
+
+            to_recv.sort_unstable_by_key(|&(at, ord, _)| (at, ord));
+            while to_recv.first().is_some_and(|&(at, _, _)| at <= now) {
+                let (_, _, seg) = to_recv.remove(0);
+                r.on_segment(now, &seg);
+                while let Some(ack) = r.poll_transmit(now) {
+                    to_send.push((now + D, order, ack));
+                    order += 1;
+                }
+            }
+
+            to_send.sort_unstable_by_key(|&(at, ord, _)| (at, ord));
+            while to_send.first().is_some_and(|&(at, _, _)| at <= now) {
+                let (_, _, seg) = to_send.remove(0);
+                s.on_segment(now, &seg);
+                let srtt = s.net_cond().srtt_ms;
+                if srtt > 0.0 {
+                    assert!(
+                        srtt >= FLOOR_MS - 1e-6,
+                        "SRTT collapsed below the path RTT: {srtt} ms < {FLOOR_MS} ms"
+                    );
+                }
+            }
+
+            s.clear_events();
+            r.clear_events();
+            let _ = r.take_messages();
+            now += STEP;
+        }
+
+        // The run was meaningful: losses really forced retransmissions,
+        // and enough clean exchanges happened to seed the estimator.
+        assert!(s.stats().retransmits > 0, "no retransmissions exercised");
+        assert!(s.net_cond().srtt_ms >= FLOOR_MS - 1e-6);
+    }
+}
+
+/// Deterministic Karn corner: an ACK whose echo claims a transmit time
+/// in the future (corrupt peer or reordered clock) must not feed the
+/// estimator.
+#[test]
+fn future_echo_is_rejected() {
+    let cfg = RudpConfig::default();
+    let (mut s, _r) = establish(&cfg);
+    let _ = s.send_message(0, 1000, true);
+    while s.poll_transmit(0).is_some() {}
+
+    let now = 5 * STEP;
+    let ack = AckSeg {
+        cum_ack: 1,
+        highest_seen: 0,
+        sack: SackRanges::new(),
+        recv_window: 1024,
+        loss_tolerance: 0.0,
+        echo_tx_at: Some(now + 40 * STEP), // 40 ms in the future
+    };
+    s.on_segment(now, &Segment::Ack(ack));
+    assert_eq!(
+        s.net_cond().srtt_ms,
+        0.0,
+        "future echo must not seed the RTT estimator"
+    );
+}
+
+/// Deterministic Karn corner on the receiver: a retransmitted data
+/// segment — even one delivering brand-new data — never carries an RTT
+/// echo back, because its send time is ambiguous at the sender.
+#[test]
+fn retransmitted_data_is_never_echoed() {
+    let cfg = RudpConfig::default();
+    let (mut s, mut r) = establish(&cfg);
+    let _ = s.send_message(0, 1000, true);
+    let seg = s.poll_transmit(0).expect("data");
+    let Segment::Data(mut d) = seg else {
+        panic!("expected data")
+    };
+    d.retransmit = true; // as if the original were lost
+    d.tx_at = 7 * STEP;
+    r.on_segment(8 * STEP, &Segment::Data(d));
+    let ack = r.poll_transmit(8 * STEP).expect("ack");
+    let Segment::Ack(a) = ack else {
+        panic!("expected ack")
+    };
+    assert_eq!(a.cum_ack, 1, "new data still advances the cumulative ack");
+    assert_eq!(a.echo_tx_at, None, "retransmission must not echo an RTT");
+}

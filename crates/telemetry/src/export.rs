@@ -6,6 +6,68 @@
 
 use crate::event::TelemetryRecord;
 
+/// The 64-bit FNV-1a hasher behind the determinism fingerprints.
+///
+/// Both the parallel runner's bit-exact scenario fingerprint and the
+/// model checker's visited-state table fold their observations through
+/// this hasher, so "two states hash equal" and "two runs fingerprint
+/// equal" mean the same thing: byte-identical serialized observations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+impl Fnv64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+
+    /// A hasher at the FNV-1a offset basis.
+    pub fn new() -> Self {
+        Self { state: Self::BASIS }
+    }
+
+    /// Folds raw bytes into the state.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Folds one `u64` (little-endian bytes).
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Folds one `u8`.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    /// Folds a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write(&[u8::from(v)]);
+    }
+
+    /// Folds an `f64` by exact bit pattern (any difference, however
+    /// small, is a distinct state — same rule as the runner's
+    /// determinism check).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// Renders records as CSV with header `at,seq,flow,type,detail`.
 ///
 /// The detail column holds the event's JSON fields (everything after the

@@ -7,7 +7,18 @@
 //! iqrudp [FLAGS] bench [SIZE] [OPTS]        measure simulator throughput
 //! iqrudp trace [FRAMES] [SEED]              dump a membership trace as TSV
 //! iqrudp demo                               one coordinated flow, annotated
+//! iqrudp mc [OPTS]                          model-check the coordination protocol
 //! ```
+//!
+//! `mc` runs the bounded model checker over a named scenario
+//! (`--scenario basic|deferred|two-flow`), exploring every interleaving
+//! of delivery, reordering, bounded drop, and timer firing up to
+//! `--depth` transitions with `--drops`/`--ticks` budgets, and checks
+//! the three coordination invariants on every application transition.
+//! Exits 1 on a violation (printing a replayable minimal
+//! counterexample). `--seed-break reinflate|cond|deferral` flips the
+//! polarity: it seeds that coordination bug and exits 1 unless the
+//! checker catches it — the self-test that the invariants have teeth.
 //!
 //! `bench` runs a fixed scenario sweep and writes `BENCH_netsim.json`
 //! (events/sec, wall time per scenario, peak RSS). Options: `--out PATH`,
@@ -163,6 +174,87 @@ fn die(msg: &str) -> ! {
     std::process::exit(2);
 }
 
+fn cmd_mc(args: &[String]) {
+    use iq_mc::{check, replay, scenario, scenario_names, CheckerConfig, Mutation};
+
+    let mut name = "basic".to_string();
+    let mut cfg = CheckerConfig::default();
+    let mut mutation = Mutation::None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scenario" => match it.next() {
+                Some(s) => name = s.clone(),
+                None => die("--scenario requires a name"),
+            },
+            "--depth" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(d) => cfg.max_depth = d,
+                None => die("--depth requires a positive integer"),
+            },
+            "--drops" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(d) => cfg.drop_budget = d,
+                None => die("--drops requires an integer"),
+            },
+            "--ticks" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(t) => cfg.tick_budget = t,
+                None => die("--ticks requires an integer"),
+            },
+            "--seed-break" => match it.next().map(|s| Mutation::from_name(s)) {
+                Some(Some(m)) => mutation = m,
+                _ => die("--seed-break requires one of: reinflate, cond, deferral"),
+            },
+            other => die(&format!("mc: unknown argument `{other}`")),
+        }
+    }
+    let spec = scenario(&name).unwrap_or_else(|| {
+        die(&format!(
+            "unknown scenario `{name}` (available: {})",
+            scenario_names().join(", ")
+        ))
+    });
+
+    let report = check(&spec, mutation, &cfg);
+    println!(
+        "mc: scenario {} depth {} (reached {}) drops {} ticks {}: \
+         {} states explored, space {}",
+        spec.name,
+        cfg.max_depth,
+        report.depth_reached,
+        cfg.drop_budget,
+        cfg.tick_budget,
+        report.explored,
+        if report.complete { "exhausted" } else { "bounded by depth" },
+    );
+    match report.counterexample {
+        Some(ce) => {
+            println!("VIOLATION: {}", ce.violation);
+            println!("minimal counterexample ({} steps):", ce.trace.len());
+            print!("{}", iq_mc::trace::render(&ce.trace));
+            let replayed = replay(&spec, mutation, &cfg, &ce.trace);
+            match replayed {
+                Some(v) if v.invariant == ce.violation.invariant => {
+                    println!("replay: reproduced");
+                }
+                _ => {
+                    println!("replay: FAILED to reproduce");
+                    std::process::exit(2);
+                }
+            }
+            // A violation is success when we seeded the bug ourselves.
+            if mutation == Mutation::None {
+                std::process::exit(1);
+            }
+        }
+        None => {
+            println!("no violations");
+            if mutation != Mutation::None {
+                eprintln!("mc: seeded mutation {mutation:?} was NOT caught");
+                std::process::exit(1);
+            }
+        }
+    }
+}
+
 fn cmd_trace(args: &[String]) {
     let len = args
         .first()
@@ -303,13 +395,16 @@ fn main() {
         Some("bench") => cmd_bench(&args[1..]),
         Some("trace") => cmd_trace(&args[1..]),
         Some("demo") => cmd_demo(),
+        Some("mc") => cmd_mc(&args[1..]),
         _ => {
             eprintln!(
                 "usage: iqrudp [-j N] [--verify-determinism] [--no-timing] \
                  [--telemetry DIR] \
                  <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
                  bench [SIZE] [--out PATH] [--label STR] [--check PATH] \
-                 [--max-regress FRAC] | trace [FRAMES] [SEED] | demo>"
+                 [--max-regress FRAC] | trace [FRAMES] [SEED] | demo | \
+                 mc [--scenario NAME] [--depth N] [--drops K] [--ticks K] \
+                 [--seed-break reinflate|cond|deferral]>"
             );
             std::process::exit(2);
         }
