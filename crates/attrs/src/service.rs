@@ -19,16 +19,6 @@ pub struct Versioned {
     pub version: u64,
 }
 
-/// Callback invoked when a watched attribute changes.
-pub type WatchFn = Box<dyn Fn(&AttrValue) + Send + Sync>;
-
-/// Handle for removing a watcher registered through the deprecated
-/// [`AttrService::watch`]. New code should prefer
-/// [`AttrService::subscribe`], whose [`WatchGuard`] removes the watcher
-/// automatically.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-pub struct WatchId(u64);
-
 type SharedWatchFn = Arc<dyn Fn(&AttrValue) + Send + Sync>;
 
 #[derive(Default)]
@@ -151,20 +141,6 @@ impl AttrService {
             inner: Arc::clone(&self.inner),
             id,
         }
-    }
-
-    /// Registers a callback with manual lifetime management.
-    #[deprecated(note = "use `subscribe`, which returns an RAII `WatchGuard` \
-                         instead of a `WatchId` that must be `unwatch`ed by hand")]
-    pub fn watch(&self, name: impl Into<AttrName>, f: WatchFn) -> WatchId {
-        WatchId(self.register(name.into(), Arc::from(f)))
-    }
-
-    /// Removes a watcher registered with [`Self::watch`]; returns
-    /// whether it existed.
-    #[deprecated(note = "use `subscribe`; dropping its `WatchGuard` removes the watcher")]
-    pub fn unwatch(&self, id: WatchId) -> bool {
-        remove_watcher(&self.inner, id.0)
     }
 
     /// Queries the current value of `name`.
@@ -306,25 +282,6 @@ mod tests {
         });
         s.update(names::NET_ERROR_RATIO, 0.25);
         assert_eq!(s.query_float("derived"), Some(0.5));
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_watch_unwatch_shims_still_work() {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        use std::sync::Arc;
-        let s = AttrService::new();
-        let hits = Arc::new(AtomicU64::new(0));
-        let h = hits.clone();
-        let id = s.watch("x", Box::new(move |_| {
-            h.fetch_add(1, Ordering::SeqCst);
-        }));
-        s.update("x", 1i64);
-        assert_eq!(hits.load(Ordering::SeqCst), 1);
-        assert!(s.unwatch(id));
-        assert!(!s.unwatch(id));
-        s.update("x", 2i64);
-        assert_eq!(hits.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -23,7 +23,8 @@ use std::time::Instant;
 
 use crate::runner::{run_specs, ScenarioSpec};
 use crate::scenario::{app_frame_sizes, PolicySpec, Scenario, Scheme, VbrSpec};
-use crate::tables::Size;
+use crate::tables::{conflict_scenario, Size};
+use iq_rudp::CcAlgorithm;
 
 /// Options for one bench invocation (a parsed `iqrudp bench` command
 /// line).
@@ -164,6 +165,26 @@ pub fn bench_specs(size: Size) -> Vec<ScenarioSpec> {
     //    load that the single-flow profiles never reach.
     let sc = Scenario::incast(200, scaled(size, 150), 1400);
     specs.push(ScenarioSpec::new("many_flows", sc));
+
+    // 7. CUBIC under the Table-3 conflict workload: the cubic window
+    //    curve (cbrt, per-ACK target steps) plus the coordinator's
+    //    re-inflation seam on a non-LDA controller.
+    let mut sc = conflict_scenario(&frames(9000, 17), Scheme::Coordinated);
+    sc.cc = CcAlgorithm::from_name("cubic").expect("known name");
+    specs.push(ScenarioSpec::new("cubic_conflict", sc));
+
+    // 8. BBR-like model under many-flow incast: per-connection
+    //    rate/min-RTT sampling and BDP recomputation across hundreds
+    //    of concurrent flows.
+    let mut sc = Scenario::incast(200, scaled(size, 150), 1400);
+    sc.cc = CcAlgorithm::from_name("bbr").expect("known name");
+    specs.push(ScenarioSpec::new("bbr_many_flows", sc));
+
+    // 9. RRR on the same conflict workload without coordination:
+    //    loss-proportional rate reduction reacting to raw loss ratios.
+    let mut sc = conflict_scenario(&frames(9000, 19), Scheme::Uncoordinated);
+    sc.cc = CcAlgorithm::from_name("rrr").expect("known name");
+    specs.push(ScenarioSpec::new("rrr_table3", sc));
 
     specs
 }
@@ -437,7 +458,10 @@ mod tests {
                 "marking_vbr",
                 "tcp_fairness",
                 "red_lossy",
-                "many_flows"
+                "many_flows",
+                "cubic_conflict",
+                "bbr_many_flows",
+                "rrr_table3"
             ]
         );
         // Scaling floors at 40 frames so tiny sizes still run.

@@ -11,7 +11,7 @@ use iq_metrics::TimeSeries;
 use iq_netsim::{
     build_dumbbell, time, Addr, AgentId, Dumbbell, DumbbellSpec, FlowId, Simulator,
 };
-use iq_rudp::RudpConfig;
+use iq_rudp::{CcAlgorithm, RudpConfig};
 use iq_tcp::{TcpBulkSenderAgent, TcpConfig, TcpSenderConn, TcpSinkAgent};
 use iq_telemetry::{to_jsonl, TelemetrySink};
 use iq_trace::{MembershipConfig, MembershipTrace};
@@ -160,7 +160,12 @@ pub struct Scenario {
     pub loss_tolerance: f64,
     /// Error-ratio callback thresholds (upper, lower).
     pub thresholds: (Option<f64>, Option<f64>),
-    /// Fixed window used when congestion control is disabled.
+    /// Congestion-control algorithm for the transport schemes. Ignored
+    /// by [`Scheme::AppAdaptOnly`], which always pins the window at
+    /// [`Self::fixed_cwnd`], and by [`Scheme::Tcp`].
+    pub cc: CcAlgorithm,
+    /// Fixed window used when congestion control is disabled
+    /// ([`Scheme::AppAdaptOnly`]).
     pub fixed_cwnd: f64,
     /// Override for the transport's measuring period (long-RTT paths
     /// need a period that spans at least one RTT).
@@ -197,6 +202,7 @@ impl Scenario {
             datagram_mode: false,
             loss_tolerance: 0.0,
             thresholds: (None, None),
+            cc: CcAlgorithm::default(),
             fixed_cwnd: 32.0,
             measure_period: None,
             min_adapt_gap_s: 1.0,
@@ -345,10 +351,15 @@ fn rudp_config(sc: &Scenario) -> RudpConfig {
     if let Some(p) = sc.measure_period {
         cfg.measure_period = p;
     }
-    if sc.scheme == Scheme::AppAdaptOnly {
-        cfg.cc.enabled = false;
-        cfg.cc.fixed_cwnd = sc.fixed_cwnd;
-    }
+    cfg.cc.algorithm = if sc.scheme == Scheme::AppAdaptOnly {
+        // "Application adaptation only": no transport adaptation, the
+        // window stays pinned (the old `enabled: false` mode).
+        CcAlgorithm::Fixed {
+            cwnd: sc.fixed_cwnd,
+        }
+    } else {
+        sc.cc.clone()
+    };
     cfg
 }
 

@@ -8,6 +8,9 @@
 //! Absolute magnitudes differ from the paper's testbed; the comparisons
 //! (who wins, direction, rough factor) are the reproduction target.
 
+use iq_metrics::{fmt, Table};
+use iq_rudp::CcAlgorithm;
+
 use crate::runner::{
     render_conflict, render_overreaction, render_time_tp_ia_jitter, run_averaged,
 };
@@ -102,21 +105,28 @@ pub fn render_table2(rows: &[RunResult]) -> String {
 /// 10 Mb CBR cross traffic.
 pub fn table3_scenarios(size: Size) -> Vec<Scenario> {
     let frames = app_frame_sizes(size.frames(3000), 11);
-    let base = |scheme| {
-        let mut sc = Scenario::new(scheme, PolicySpec::Marking, frames.clone());
-        sc.fps = Some(100.0);
-        sc.datagram_mode = true;
-        sc.loss_tolerance = 0.40;
-        // The paper's 30 %/5 % thresholds fit EMULAB's loss regime; our
-        // drop-tail bottleneck produces smaller per-period ratios, so
-        // the thresholds scale down with it (see DESIGN.md).
-        sc.thresholds = (Some(0.10), Some(0.02));
-        sc.min_lower_gap_s = 1.5;
-        sc.cross.cbr_bps = Some(12e6);
-        sc.deadline_s = 600.0;
-        sc
-    };
-    vec![base(Scheme::Coordinated), base(Scheme::Uncoordinated)]
+    vec![
+        conflict_scenario(&frames, Scheme::Coordinated),
+        conflict_scenario(&frames, Scheme::Uncoordinated),
+    ]
+}
+
+/// The Table-3 conflict workload under `scheme`: MBone frames at a
+/// fixed rate, marking policy, 12 Mb CBR cross traffic. Shared by
+/// Table 3 and the CC × scheme matrix (Table 9).
+pub(crate) fn conflict_scenario(frames: &[u32], scheme: Scheme) -> Scenario {
+    let mut sc = Scenario::new(scheme, PolicySpec::Marking, frames.to_vec());
+    sc.fps = Some(100.0);
+    sc.datagram_mode = true;
+    sc.loss_tolerance = 0.40;
+    // The paper's 30 %/5 % thresholds fit EMULAB's loss regime; our
+    // drop-tail bottleneck produces smaller per-period ratios, so
+    // the thresholds scale down with it (see DESIGN.md).
+    sc.thresholds = (Some(0.10), Some(0.02));
+    sc.min_lower_gap_s = 1.5;
+    sc.cross.cbr_bps = Some(12e6);
+    sc.deadline_s = 600.0;
+    sc
 }
 
 /// Runs Table 3.
@@ -341,6 +351,85 @@ pub fn render_table8(rows: &[RunResult]) -> String {
     )
 }
 
+// ---------------------------------------------------------------- Table 9
+
+/// Table 9 (not in the paper): the coordination-benefit matrix across
+/// congestion controllers — the Table-3 conflict workload run under
+/// every [`CcAlgorithm`], coordinated and uncoordinated (ROADMAP item
+/// 4: stress-test the coordination schemes beyond LDA).
+pub fn table9_scenarios(size: Size) -> Vec<Scenario> {
+    let frames = app_frame_sizes(size.frames(3000), 11);
+    let mut out = Vec::new();
+    for alg in CcAlgorithm::all_adaptive() {
+        for scheme in [Scheme::Coordinated, Scheme::Uncoordinated] {
+            let mut sc = conflict_scenario(&frames, scheme);
+            sc.cc = alg.clone();
+            out.push(sc);
+        }
+    }
+    out
+}
+
+/// Row label for one CC × scheme cell (static so [`RunResult::label`]
+/// stays a `&'static str`).
+fn cc_row_label(alg: &CcAlgorithm, scheme: Scheme) -> &'static str {
+    let coordinated = scheme == Scheme::Coordinated;
+    match (alg.name(), coordinated) {
+        ("lda", true) => "LDA / coordinated",
+        ("lda", false) => "LDA / uncoordinated",
+        ("cubic", true) => "CUBIC / coordinated",
+        ("cubic", false) => "CUBIC / uncoordinated",
+        ("bbr", true) => "BBR-like / coordinated",
+        ("bbr", false) => "BBR-like / uncoordinated",
+        ("rrr", true) => "RRR / coordinated",
+        ("rrr", false) => "RRR / uncoordinated",
+        (_, true) => "other / coordinated",
+        (_, false) => "other / uncoordinated",
+    }
+}
+
+/// Runs Table 9. Rows come out in [`CcAlgorithm::all_adaptive`] order,
+/// coordinated before uncoordinated within each controller.
+pub fn run_table9(size: Size) -> Vec<RunResult> {
+    let scenarios = table9_scenarios(size);
+    let mut rows = run_averaged(&scenarios, 3);
+    for (row, sc) in rows.iter_mut().zip(&scenarios) {
+        row.label = cc_row_label(&sc.cc, sc.scheme);
+    }
+    rows
+}
+
+/// Renders Table 9: the full matrix plus a per-controller benefit
+/// summary (coordinated minus uncoordinated).
+pub fn render_table9(rows: &[RunResult]) -> String {
+    let mut out = render_conflict(
+        "Table 9: Coordination benefit across congestion controllers",
+        rows,
+    );
+    let mut t = Table::new(
+        "Coordination benefit (coordinated - uncoordinated)",
+        &[
+            "Controller",
+            "dRecvd(pp)",
+            "dTaggedJitter(ms)",
+            "dJitter(ms)",
+        ],
+    );
+    for pair in rows.chunks_exact(2) {
+        let (c, u) = (&pair[0], &pair[1]);
+        let controller = c.label.split(" /").next().unwrap_or(c.label);
+        t.row(&[
+            controller.to_string(),
+            fmt(c.delivered_pct - u.delivered_pct, 1),
+            fmt(c.tagged_jitter_ms - u.tagged_jitter_ms, 2),
+            fmt((c.jitter_s - u.jitter_s) * 1e3, 2),
+        ]);
+    }
+    out.push('\n');
+    out.push_str(&t.render());
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -355,6 +444,24 @@ mod tests {
         assert_eq!(table6_scenarios(Size::SMOKE).len(), 6);
         assert_eq!(table7_scenarios(Size::SMOKE).len(), 2);
         assert_eq!(table8_scenarios(Size::SMOKE).len(), 3);
+        assert_eq!(table9_scenarios(Size::SMOKE).len(), 8);
+    }
+
+    #[test]
+    fn table9_covers_every_adaptive_controller_twice() {
+        let scenarios = table9_scenarios(Size::SMOKE);
+        for (i, alg) in CcAlgorithm::all_adaptive().iter().enumerate() {
+            assert_eq!(&scenarios[2 * i].cc, alg);
+            assert_eq!(scenarios[2 * i].scheme, Scheme::Coordinated);
+            assert_eq!(&scenarios[2 * i + 1].cc, alg);
+            assert_eq!(scenarios[2 * i + 1].scheme, Scheme::Uncoordinated);
+        }
+        // Labels are distinct per cell.
+        let labels: std::collections::BTreeSet<&str> = scenarios
+            .iter()
+            .map(|sc| cc_row_label(&sc.cc, sc.scheme))
+            .collect();
+        assert_eq!(labels.len(), 8);
     }
 
     #[test]

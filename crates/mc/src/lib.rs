@@ -51,4 +51,6 @@ pub mod world;
 pub use checker::{check, CheckReport, CheckerConfig, Counterexample};
 pub use invariant::{Invariant, Snapshot, Violation};
 pub use trace::replay;
-pub use world::{scenario, scenario_names, AppStep, Choice, Mutation, ScenarioSpec, World};
+pub use world::{
+    scenario, scenario_names, scenario_with_cc, AppStep, Choice, Mutation, ScenarioSpec, World,
+};

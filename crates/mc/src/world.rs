@@ -86,7 +86,19 @@ pub fn scenario_names() -> &'static [&'static str] {
 ///   plain send and a resolution adaptation; exercises cross-flow
 ///   interleavings of the same invariants.
 pub fn scenario(name: &str) -> Option<Arc<ScenarioSpec>> {
-    let spec = match name {
+    scenario_with_cc(name, iq_rudp::CcAlgorithm::default())
+}
+
+/// Builds a named scenario running congestion controller `cc` on every
+/// flow (`iqrudp mc --cc <alg>`): the coordination invariants are
+/// checked against whatever controller the transport runs, because
+/// their contract — `scale` is multiply-then-clamp — is
+/// controller-independent.
+pub fn scenario_with_cc(
+    name: &str,
+    cc: iq_rudp::CcAlgorithm,
+) -> Option<Arc<ScenarioSpec>> {
+    let mut spec = match name {
         "basic" => ScenarioSpec {
             name: "basic",
             mode: CoordinationMode::Coordinated,
@@ -141,6 +153,7 @@ pub fn scenario(name: &str) -> Option<Arc<ScenarioSpec>> {
         }
         _ => return None,
     };
+    spec.cfg.cc.algorithm = cc;
     Some(Arc::new(spec))
 }
 

@@ -4,7 +4,8 @@
 //! replayable minimal counterexample, and on the real code all three
 //! invariants hold across every explored interleaving.
 
-use iq_mc::{check, replay, scenario, CheckerConfig, Invariant, Mutation};
+use iq_mc::{check, replay, scenario, scenario_with_cc, CheckerConfig, Invariant, Mutation};
+use iq_rudp::CcAlgorithm;
 
 fn cfg(max_depth: u32, drop_budget: u32) -> CheckerConfig {
     CheckerConfig {
@@ -25,6 +26,40 @@ fn basic_scenario_is_clean_and_complete() {
     // deliberate protocol changes update the pin, anything else is a
     // determinism or hashing regression.
     assert_eq!(report.explored, 5289);
+}
+
+#[test]
+fn basic_scenario_is_clean_and_complete_under_cubic() {
+    // The coordination invariants are controller-independent: the same
+    // space closes (and stays clean) when the transport runs CUBIC.
+    // CUBIC's extra digest state (w_max, ssthresh, K, epoch age) makes
+    // the count differ from LDA's — both pins are deliberate.
+    let spec = scenario_with_cc("basic", CcAlgorithm::from_name("cubic").unwrap()).unwrap();
+    let report = check(&spec, Mutation::None, &cfg(30, 1));
+    assert!(report.counterexample.is_none(), "violation on main: {report:?}");
+    assert!(report.complete, "basic space should close under cubic");
+    assert_eq!(report.depth_reached, 11);
+    assert_eq!(report.explored, 5477);
+}
+
+#[test]
+fn basic_scenario_is_clean_and_complete_under_bbr() {
+    let spec = scenario_with_cc("basic", CcAlgorithm::from_name("bbr").unwrap()).unwrap();
+    let report = check(&spec, Mutation::None, &cfg(30, 1));
+    assert!(report.counterexample.is_none(), "violation on main: {report:?}");
+    assert!(report.complete, "basic space should close under bbr");
+    assert_eq!(report.explored, 5268);
+}
+
+#[test]
+fn lda_pin_is_unchanged_by_cc_selection_plumbing() {
+    // `scenario(name)` and `scenario_with_cc(name, lda)` must be the
+    // same state space bit-for-bit: the trait refactor may not move
+    // LDA's trajectories or digests.
+    let spec = scenario_with_cc("basic", CcAlgorithm::default()).unwrap();
+    let report = check(&spec, Mutation::None, &cfg(30, 1));
+    assert_eq!(report.explored, 5289);
+    assert_eq!(report.depth_reached, 11);
 }
 
 #[test]
@@ -95,6 +130,19 @@ fn catches(scenario_name: &str, mutation: Mutation, expected: Invariant) {
 #[test]
 fn seeded_reinflate_bug_is_caught() {
     catches("basic", Mutation::SkipReinflate, Invariant::Reinflation);
+}
+
+#[test]
+fn seeded_reinflate_bug_is_caught_under_cubic() {
+    // The invariants keep their teeth on a non-LDA controller.
+    let spec = scenario_with_cc("basic", CcAlgorithm::from_name("cubic").unwrap()).unwrap();
+    let config = cfg(10, 0);
+    let report = check(&spec, Mutation::SkipReinflate, &config);
+    let ce = report.counterexample.expect("SkipReinflate not caught under cubic");
+    assert_eq!(ce.violation.invariant, Invariant::Reinflation);
+    let replayed = replay(&spec, Mutation::SkipReinflate, &config, &ce.trace)
+        .expect("replaying the counterexample must reproduce the violation");
+    assert_eq!(replayed.invariant, Invariant::Reinflation);
 }
 
 #[test]

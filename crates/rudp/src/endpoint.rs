@@ -55,6 +55,13 @@ impl ConnBuilder {
         self
     }
 
+    /// Selects the congestion-control algorithm for every connection
+    /// built afterwards (window bounds stay as configured).
+    pub fn cc(mut self, algorithm: crate::CcAlgorithm) -> Self {
+        Arc::make_mut(&mut self.cfg).cc.algorithm = algorithm;
+        self
+    }
+
     /// Re-targets the builder at another connection id and flow, reusing
     /// the shared config (many-flow setup loops).
     pub fn for_conn(&self, conn_id: u32, flow: FlowId) -> Self {

@@ -31,7 +31,10 @@ pub mod segment;
 pub mod sender;
 pub mod types;
 
-pub use cc::{CcConfig, LdaWindow};
+pub use cc::{
+    BbrParams, BbrWindow, CcAlgorithm, CcConfig, CcController, CongestionControl, CubicParams,
+    CubicWindow, FixedWindow, LdaParams, LdaWindow, RrrParams, RrrWindow,
+};
 pub use endpoint::{
     BulkSenderAgent, ConnBuilder, ReceiverDriver, RudpSinkAgent, SenderDriver, RUDP_TIMER_TOKEN,
 };

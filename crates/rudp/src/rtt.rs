@@ -67,6 +67,12 @@ impl RttEstimator {
         self.srtt.unwrap_or(0.0) * 1e3
     }
 
+    /// Smoothed RTT as a time delta, or `None` before the first sample
+    /// (feeds the congestion controllers' ACK hook).
+    pub fn srtt(&self) -> Option<TimeDelta> {
+        self.srtt.map(|s| (s * 1e9) as TimeDelta)
+    }
+
     /// Current retransmission timeout including backoff.
     pub fn rto(&self) -> TimeDelta {
         let base = match self.srtt {

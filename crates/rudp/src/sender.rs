@@ -9,7 +9,7 @@ use std::sync::Arc;
 use iq_netsim::Time;
 use iq_telemetry::{CwndReason, TelemetryEvent, TelemetrySink};
 
-use crate::cc::LdaWindow;
+use crate::cc::{CcController, CongestionControl};
 use crate::meter::{NetCond, PeriodMeter};
 use crate::ring::SeqRing;
 use crate::rtt::RttEstimator;
@@ -89,7 +89,9 @@ pub struct SenderConn {
     /// Whether the SYN (or FIN) needs (re)sending.
     handshake_dirty: bool,
     handshake_deadline: Time,
-    window: LdaWindow,
+    /// The congestion controller, stored inline (enum dispatch): the
+    /// per-ACK hooks must not box or allocate.
+    cc: CcController,
     rtt: RttEstimator,
     meter: PeriodMeter,
     events: Vec<ConnEvent>,
@@ -117,7 +119,7 @@ impl SenderConn {
     /// [`crate::ConnBuilder`] path: many-flow setups build hundreds of
     /// connections from one config without cloning it each time).
     pub fn from_shared(conn_id: u32, cfg: Arc<RudpConfig>) -> Self {
-        let window = LdaWindow::new(cfg.cc.clone());
+        let cc = CcController::new(&cfg.cc);
         let meter = PeriodMeter::new(cfg.measure_period);
         let rtt = RttEstimator::new(cfg.min_rto, cfg.max_rto);
         let discard_unmarked = cfg.discard_unmarked;
@@ -134,7 +136,7 @@ impl SenderConn {
             fwd_dirty: false,
             handshake_dirty: true,
             handshake_deadline: 0,
-            window,
+            cc,
             rtt,
             meter,
             events: Vec::new(),
@@ -186,20 +188,26 @@ impl SenderConn {
     pub fn net_cond(&self) -> NetCond {
         let mut c = self.meter.last();
         c.srtt_ms = self.rtt.srtt_ms();
-        c.cwnd = self.window.cwnd();
+        c.cwnd = self.cc.cwnd();
         c
     }
 
     /// Current congestion window, segments.
     pub fn cwnd(&self) -> f64 {
-        self.window.cwnd()
+        self.cc.cwnd()
+    }
+
+    /// Stable name of the congestion-control algorithm this connection
+    /// runs ([`crate::CcAlgorithm::name`]).
+    pub fn cc_name(&self) -> &'static str {
+        self.cc.name()
     }
 
     /// Applies a coordination re-adjustment to the window (IQ-RUDP's
     /// reaction to a reported application adaptation). Returns the
     /// resulting window.
     pub fn scale_cwnd(&mut self, factor: f64) -> f64 {
-        self.window.scale(factor)
+        self.cc.scale(factor)
     }
 
     /// Toggles discard-unmarked coordination.
@@ -376,8 +384,10 @@ impl SenderConn {
 
         // Cumulative: everything below cum_ack is done at the receiver.
         // Popping from the ring head is exactly this drain.
+        let mut newly_acked: u32 = 0;
         while let Some((_, e)) = self.inflight.pop_first_below(ack.cum_ack) {
             self.note_acked(&e);
+            newly_acked += 1;
         }
         // Selective: ranges above cum_ack. Ranges are receiver-observed
         // sequence runs, so they are bounded by the in-flight window;
@@ -389,8 +399,26 @@ impl SenderConn {
             while seq < hi {
                 if let Some(e) = self.inflight.take(seq) {
                     self.note_acked(&e);
+                    newly_acked += 1;
                 }
                 seq += 1;
+            }
+        }
+        // ACK-clocked controllers grow here; the hook fires once per
+        // ACK segment that newly acknowledged data. LDA's hook is a
+        // no-op, so its telemetry stream is untouched by the redesign.
+        if newly_acked > 0 {
+            let before = self.cc.cwnd();
+            let cwnd = self.cc.on_ack(now, newly_acked, self.rtt.srtt());
+            if cwnd != before {
+                self.telemetry.emit(
+                    now,
+                    self.telemetry_flow,
+                    TelemetryEvent::CwndUpdate {
+                        cwnd,
+                        reason: CwndReason::Ack,
+                    },
+                );
             }
         }
         // Loss detection: anything still in flight below the highest
@@ -432,6 +460,23 @@ impl SenderConn {
             });
         for &seq in &seqs {
             self.on_segment_lost(now, seq);
+        }
+        // One *loss event* per ACK, no matter how many segments crossed
+        // the threshold together — the classic one-reduction-per-window
+        // approximation. (RTO losses react in `on_tick` instead.)
+        if !seqs.is_empty() {
+            let before = self.cc.cwnd();
+            let cwnd = self.cc.on_loss(now);
+            if cwnd != before {
+                self.telemetry.emit(
+                    now,
+                    self.telemetry_flow,
+                    TelemetryEvent::CwndUpdate {
+                        cwnd,
+                        reason: CwndReason::Loss,
+                    },
+                );
+            }
         }
 
         self.scratch_seqs = seqs;
@@ -476,7 +521,7 @@ impl SenderConn {
                     self.stats.timeouts += 1;
                     let rto_ns = self.rtt.rto();
                     self.rtt.on_timeout();
-                    let cwnd = self.window.on_timeout();
+                    let cwnd = self.cc.on_timeout(now);
                     self.telemetry.emit_with(now, self.telemetry_flow, || {
                         TelemetryEvent::RtoFired {
                             seq,
@@ -496,9 +541,9 @@ impl SenderConn {
                 }
                 // Measuring period.
                 let srtt_ms = self.rtt.srtt_ms();
-                let cwnd = self.window.cwnd();
+                let cwnd = self.cc.cwnd();
                 if let Some(cond) = self.meter.maybe_roll(now, srtt_ms, cwnd) {
-                    let new_cwnd = self.window.on_period(cond.eratio);
+                    let new_cwnd = self.cc.on_period(now, &cond);
                     let mut cond = cond;
                     cond.cwnd = new_cwnd;
                     self.events.push(ConnEvent::PeriodEnded(cond));
@@ -590,11 +635,7 @@ impl SenderConn {
 
     /// Whether a new (never-transmitted) segment fits in the windows.
     fn can_send_new(&self) -> bool {
-        let window = self
-            .window
-            .cwnd_segments()
-            .min(self.peer_window)
-            .max(1) as usize;
+        let window = self.cc.cwnd_segments().min(self.peer_window).max(1) as usize;
         self.inflight.len() < window
     }
 
@@ -753,7 +794,7 @@ impl SenderConn {
             h.write_bool(e.frag.marked);
             h.write_u64(u64::from(e.frag.len));
         }
-        h.write_f64(self.window.cwnd());
+        self.cc.digest(now, h);
         self.rtt.digest(h);
         self.meter.digest(now, h);
         h.write_bool(self.finish_requested);

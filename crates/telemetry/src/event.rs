@@ -3,14 +3,19 @@
 /// Why the congestion window changed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum CwndReason {
-    /// End-of-period LDA adjustment (additive increase or
-    /// loss-proportional decrease).
+    /// End-of-period adjustment (LDA/RRR loss reaction, BBR-like model
+    /// re-derivation).
     Period,
-    /// Retransmission-timeout halving.
+    /// Retransmission-timeout backoff.
     Timeout,
     /// Coordination rescale ([`TelemetryEvent::WindowReinflate`] carries
     /// the matching factor).
     Rescale,
+    /// ACK-clocked growth (CUBIC and other per-ACK controllers; emitted
+    /// only when the window actually moved).
+    Ack,
+    /// Fast-retransmit loss event (duplicate-ACK threshold crossed).
+    Loss,
 }
 
 impl CwndReason {
@@ -20,6 +25,8 @@ impl CwndReason {
             CwndReason::Period => "period",
             CwndReason::Timeout => "timeout",
             CwndReason::Rescale => "rescale",
+            CwndReason::Ack => "ack",
+            CwndReason::Loss => "loss",
         }
     }
 
@@ -29,6 +36,8 @@ impl CwndReason {
             "period" => CwndReason::Period,
             "timeout" => CwndReason::Timeout,
             "rescale" => CwndReason::Rescale,
+            "ack" => CwndReason::Ack,
+            "loss" => CwndReason::Loss,
             _ => return None,
         })
     }

@@ -1,7 +1,8 @@
 //! `iqrudp` — command-line front end for the IQ-RUDP reproduction.
 //!
 //! ```text
-//! iqrudp [FLAGS] tables [SIZE] [t1..t8]     regenerate the paper's tables
+//! iqrudp [FLAGS] tables [SIZE] [t1..t9]     regenerate the paper's tables
+//!                                           (t9: CC × scheme matrix)
 //! iqrudp [FLAGS] figures [SIZE]             regenerate the figures (+ SVGs)
 //! iqrudp [FLAGS] ablations [SIZE]           run the design-choice ablations
 //! iqrudp [FLAGS] bench [SIZE] [OPTS]        measure simulator throughput
@@ -75,6 +76,9 @@ fn cmd_tables(args: &[String]) {
     }
     if want("t8") {
         println!("{}", render_table8(&run_table8(size)));
+    }
+    if want("t9") {
+        println!("{}", render_table9(&run_table9(size)));
     }
 }
 
@@ -175,9 +179,11 @@ fn die(msg: &str) -> ! {
 }
 
 fn cmd_mc(args: &[String]) {
-    use iq_mc::{check, replay, scenario, scenario_names, CheckerConfig, Mutation};
+    use iq_mc::{check, replay, scenario_names, scenario_with_cc, CheckerConfig, Mutation};
+    use iq_rudp::CcAlgorithm;
 
     let mut name = "basic".to_string();
+    let mut cc = CcAlgorithm::default();
     let mut cfg = CheckerConfig::default();
     let mut mutation = Mutation::None;
     let mut it = args.iter();
@@ -186,6 +192,10 @@ fn cmd_mc(args: &[String]) {
             "--scenario" => match it.next() {
                 Some(s) => name = s.clone(),
                 None => die("--scenario requires a name"),
+            },
+            "--cc" => match it.next().map(|s| CcAlgorithm::from_name(s)) {
+                Some(Some(alg)) => cc = alg,
+                _ => die("--cc requires one of: lda, cubic, bbr, rrr, fixed"),
             },
             "--depth" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(d) => cfg.max_depth = d,
@@ -206,7 +216,8 @@ fn cmd_mc(args: &[String]) {
             other => die(&format!("mc: unknown argument `{other}`")),
         }
     }
-    let spec = scenario(&name).unwrap_or_else(|| {
+    let cc_name = cc.name();
+    let spec = scenario_with_cc(&name, cc).unwrap_or_else(|| {
         die(&format!(
             "unknown scenario `{name}` (available: {})",
             scenario_names().join(", ")
@@ -215,9 +226,10 @@ fn cmd_mc(args: &[String]) {
 
     let report = check(&spec, mutation, &cfg);
     println!(
-        "mc: scenario {} depth {} (reached {}) drops {} ticks {}: \
+        "mc: scenario {} cc {} depth {} (reached {}) drops {} ticks {}: \
          {} states explored, space {}",
         spec.name,
+        cc_name,
         cfg.max_depth,
         report.depth_reached,
         cfg.drop_budget,
@@ -403,7 +415,8 @@ fn main() {
                  <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
                  bench [SIZE] [--out PATH] [--label STR] [--check PATH] \
                  [--max-regress FRAC] | trace [FRAMES] [SEED] | demo | \
-                 mc [--scenario NAME] [--depth N] [--drops K] [--ticks K] \
+                 mc [--scenario NAME] [--cc lda|cubic|bbr|rrr] [--depth N] \
+                 [--drops K] [--ticks K] \
                  [--seed-break reinflate|cond|deferral]>"
             );
             std::process::exit(2);
