@@ -41,6 +41,9 @@ pub struct BenchOptions {
     /// Free-form label recorded with the measurement (e.g. which
     /// scheduler implementation produced it).
     pub label: String,
+    /// When set, run only the scenario with this name (plus, for
+    /// `mega_flows`, its shard scaling curve).
+    pub only: Option<String>,
 }
 
 impl Default for BenchOptions {
@@ -51,6 +54,7 @@ impl Default for BenchOptions {
             check_path: None,
             max_regress: 0.20,
             label: "netsim".to_string(),
+            only: None,
         }
     }
 }
@@ -66,9 +70,16 @@ pub struct BenchScenario {
     pub wall_s: f64,
     /// Events per second of host time.
     pub events_per_sec: f64,
-    /// Process peak RSS sampled when the scenario finished, bytes (a
-    /// monotone process-wide watermark, not a per-scenario footprint).
+    /// Resident-set growth across this scenario's run, bytes (see
+    /// [`crate::runner::ScenarioReport::peak_rss_bytes`]).
     pub peak_rss_bytes: u64,
+    /// OS threads used for intra-scenario sharded execution (1 for the
+    /// serial scenarios).
+    pub shards: u32,
+    /// Order-sensitive hash of the scenario's full determinism
+    /// fingerprint (metrics, jitter series, telemetry bytes). Two runs
+    /// of the same workload — at any `--shards` value — must agree.
+    pub fingerprint: u64,
 }
 
 /// One full sweep measurement.
@@ -186,6 +197,14 @@ pub fn bench_specs(size: Size) -> Vec<ScenarioSpec> {
     sc.cc = CcAlgorithm::from_name("rrr").expect("known name");
     specs.push(ScenarioSpec::new("rrr_table3", sc));
 
+    // 10. The sharded 100k-flow population: 8 independent legs × 12 800
+    //     flows, executed by the conservative-lookahead parallel engine
+    //     with `--shards` OS threads. The flow count never scales down —
+    //     the point is per-connection state pressure at fleet size — so
+    //     `size` only scales the per-flow message count.
+    let msgs = ((8.0 * size.0).ceil() as usize).max(2);
+    specs.push(ScenarioSpec::new("mega_flows", Scenario::mega(8, 12_800, msgs, 1400)));
+
     specs
 }
 
@@ -193,22 +212,50 @@ fn scaled(size: Size, full: usize) -> usize {
     ((full as f64 * size.0) as usize).max(40)
 }
 
+fn to_bench_scenario(name: String, r: &crate::runner::ScenarioReport) -> BenchScenario {
+    BenchScenario {
+        name,
+        events: r.result.events_processed,
+        wall_s: r.wall_s,
+        events_per_sec: r.events_per_sec,
+        peak_rss_bytes: r.peak_rss_bytes,
+        shards: r.shards,
+        fingerprint: crate::runner::result_fingerprint(&r.result),
+    }
+}
+
 /// Runs the sweep and aggregates the measurement.
+///
+/// When the sweep includes `mega_flows`, the same workload is re-run
+/// serially at 1, 2, 4 and 8 shard threads afterwards and recorded as
+/// `mega_flows_shardsN` — the scaling curve of the parallel engine. The
+/// curve entries carry the same determinism fingerprint as each other
+/// (enforced by [`bench_main`]).
 pub fn run_bench(opts: &BenchOptions) -> BenchRun {
-    let specs = bench_specs(opts.size);
+    let mut specs = bench_specs(opts.size);
+    if let Some(only) = &opts.only {
+        specs.retain(|s| &s.name == only);
+        assert!(!specs.is_empty(), "bench: no scenario named `{only}`");
+    }
+    let mega = specs.iter().find(|s| s.name == "mega_flows").cloned();
     let start = Instant::now();
     let reports = run_specs(&specs);
-    let total_wall_s = start.elapsed().as_secs_f64();
-    let scenarios: Vec<BenchScenario> = reports
+    let mut scenarios: Vec<BenchScenario> = reports
         .iter()
-        .map(|r| BenchScenario {
-            name: r.name.clone(),
-            events: r.result.events_processed,
-            wall_s: r.wall_s,
-            events_per_sec: r.events_per_sec,
-            peak_rss_bytes: r.peak_rss_bytes,
-        })
+        .map(|r| to_bench_scenario(r.name.clone(), r))
         .collect();
+    // The shard scaling curve: one worker thread per run so the curve
+    // entries never contend with each other for cores.
+    if let Some(mega) = mega {
+        let before = crate::runner::shards();
+        for n in [1usize, 2, 4, 8] {
+            crate::runner::set_shards(n);
+            let reports = crate::runner::Executor::new(1).run(std::slice::from_ref(&mega));
+            scenarios.push(to_bench_scenario(format!("mega_flows_shards{n}"), &reports[0]));
+        }
+        crate::runner::set_shards(before);
+    }
+    let total_wall_s = start.elapsed().as_secs_f64();
     let total_events: u64 = scenarios.iter().map(|s| s.events).sum();
     let total_events_per_sec = if total_wall_s > 0.0 {
         total_events as f64 / total_wall_s
@@ -226,15 +273,17 @@ pub fn run_bench(opts: &BenchOptions) -> BenchRun {
     }
 }
 
-/// Peak resident set size of this process in bytes (`VmHWM` from
-/// `/proc/self/status`); 0 where unavailable.
-pub fn peak_rss_bytes() -> u64 {
+/// Reads a kB-denominated field from `/proc/self/status` as bytes; 0
+/// where unavailable.
+#[allow(unused_variables)]
+fn proc_status_bytes(key: &str) -> u64 {
     #[cfg(target_os = "linux")]
     {
         if let Ok(status) = std::fs::read_to_string("/proc/self/status") {
             for line in status.lines() {
-                if let Some(rest) = line.strip_prefix("VmHWM:") {
+                if let Some(rest) = line.strip_prefix(key) {
                     let kb: u64 = rest
+                        .trim_start_matches(':')
                         .trim()
                         .trim_end_matches("kB")
                         .trim()
@@ -246,6 +295,19 @@ pub fn peak_rss_bytes() -> u64 {
         }
     }
     0
+}
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`); 0 where unavailable.
+pub fn peak_rss_bytes() -> u64 {
+    proc_status_bytes("VmHWM")
+}
+
+/// Current resident set size of this process in bytes (`VmRSS`); 0
+/// where unavailable. The executor samples this before and after each
+/// scenario to charge memory growth to the scenario that caused it.
+pub(crate) fn current_rss_bytes() -> u64 {
+    proc_status_bytes("VmRSS")
 }
 
 fn render_run(run: &BenchRun, indent: &str) -> String {
@@ -270,12 +332,14 @@ fn render_run(run: &BenchRun, indent: &str) -> String {
     for (i, sc) in run.scenarios.iter().enumerate() {
         let comma = if i + 1 < run.scenarios.len() { "," } else { "" };
         s.push_str(&format!(
-            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}}}{comma}\n",
+            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}, \"shards\": {}, \"fingerprint\": {}}}{comma}\n",
             sc.name,
             sc.events,
             fmt_f64(sc.wall_s),
             fmt_f64(sc.events_per_sec),
-            sc.peak_rss_bytes
+            sc.peak_rss_bytes,
+            sc.shards,
+            sc.fingerprint
         ));
     }
     s.push_str(&format!("{indent}  ]\n"));
@@ -347,6 +411,31 @@ pub fn extract_number(json: &str, key: &str) -> Option<f64> {
 pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
     let run = run_bench(opts);
 
+    // Determinism across thread counts is a hard property, not a
+    // perf budget: every shard-curve entry must reproduce the exact
+    // fingerprint of the 1-thread run.
+    let curve: Vec<&BenchScenario> = run
+        .scenarios
+        .iter()
+        .filter(|s| s.name.starts_with("mega_flows_shards"))
+        .collect();
+    if let Some((first, rest)) = curve.split_first() {
+        for s in rest {
+            if s.fingerprint != first.fingerprint {
+                return Err(format!(
+                    "shard determinism violation: `{}` fingerprint {:#x} != `{}` \
+                     fingerprint {:#x}",
+                    s.name, s.fingerprint, first.name, first.fingerprint,
+                ));
+            }
+        }
+        eprintln!(
+            "bench check: {} shard-curve entries share fingerprint {:#x} — ok",
+            curve.len(),
+            first.fingerprint,
+        );
+    }
+
     // Carry an existing baseline forward; the first run lays the floor.
     let existing = std::fs::read_to_string(&opts.out_path).ok();
     let baseline = existing
@@ -406,6 +495,28 @@ pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
                 100.0 * (ratio - 1.0),
             );
         }
+        // Shard scaling gate: with 4 cores to spend, 4 shard threads
+        // must at least double the 1-thread event rate on the sharded
+        // scenario. Meaningless on smaller hosts, where the threads
+        // would just time-slice one core — skip there.
+        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let find = |name: &str| run.scenarios.iter().find(|s| s.name == name);
+        if let (Some(s1), Some(s4)) = (find("mega_flows_shards1"), find("mega_flows_shards4")) {
+            if cores >= 4 && s1.events_per_sec > 0.0 {
+                let speedup = s4.events_per_sec / s1.events_per_sec;
+                if speedup < 2.0 {
+                    return Err(format!(
+                        "shard scaling regression: mega_flows at 4 shards is only \
+                         {speedup:.2}x the 1-shard rate (expected >= 2x on {cores} cores)",
+                    ));
+                }
+                eprintln!("bench check: mega_flows 4-shard speedup {speedup:.2}x — ok");
+            } else {
+                eprintln!(
+                    "bench check: shard scaling gate skipped ({cores} core(s) available)"
+                );
+            }
+        }
     }
     Ok(run)
 }
@@ -425,6 +536,8 @@ mod tests {
                 wall_s: 0.25,
                 events_per_sec: 400.0,
                 peak_rss_bytes: 512,
+                shards: 1,
+                fingerprint: 0xfeed,
             }],
             total_events: 100,
             total_wall_s: 0.25,
@@ -461,10 +574,16 @@ mod tests {
                 "many_flows",
                 "cubic_conflict",
                 "bbr_many_flows",
-                "rrr_table3"
+                "rrr_table3",
+                "mega_flows"
             ]
         );
         // Scaling floors at 40 frames so tiny sizes still run.
         assert!(s[0].scenario.frame_sizes.len() >= 40);
+        // The mega population never scales below 100k flows — only the
+        // per-flow message count shrinks with size.
+        let mega = s.last().unwrap();
+        assert!(mega.scenario.mega_legs * mega.scenario.incast_flows >= 100_000);
+        assert!(mega.scenario.frame_sizes.len() >= 2);
     }
 }

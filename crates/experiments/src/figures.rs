@@ -172,6 +172,7 @@ mod tests {
                 sender_stats: None,
                 events_processed: 0,
                 telemetry: String::new(),
+                shards_used: 1,
             }
         }
         let rows = vec![

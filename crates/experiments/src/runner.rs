@@ -32,6 +32,8 @@ static TELEMETRY_DIR: Mutex<Option<String>> = Mutex::new(None);
 /// Process-wide dump counter so files keep declaration order across
 /// successive executor invocations (tables run one after another).
 static TELEMETRY_SEQ: AtomicUsize = AtomicUsize::new(0);
+/// Worker threads for intra-scenario sharded simulation (`--shards N`).
+static SHARDS: AtomicUsize = AtomicUsize::new(1);
 
 /// Sets the worker count used by [`run_parallel`] (0 = auto: one worker
 /// per available core). Typically wired to a `--jobs N` CLI flag.
@@ -82,6 +84,24 @@ pub fn set_telemetry_dir(dir: Option<String>) {
 /// Whether scenarios should capture telemetry.
 pub fn telemetry_enabled() -> bool {
     TELEMETRY_CAPTURE.load(Ordering::Relaxed)
+}
+
+/// Sets how many OS threads a sharded scenario (`mega_flows`) uses to
+/// execute its fixed shard partition. Typically wired to the `--shards
+/// N` CLI flag. The value never affects simulation results — the
+/// partition is fixed by the topology and outputs merge in shard-index
+/// order — only wall-clock time. 0 resolves to one per available core.
+pub fn set_shards(n: usize) {
+    SHARDS.store(n, Ordering::Relaxed);
+}
+
+/// The effective shard worker count (default 1; 0 resolved like
+/// [`jobs`]).
+pub fn shards() -> usize {
+    match SHARDS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        n => n,
+    }
 }
 
 fn telemetry_dir() -> Option<String> {
@@ -136,11 +156,18 @@ pub struct ScenarioReport {
     pub wall_s: f64,
     /// Simulator event throughput (events processed / wall_s).
     pub events_per_sec: f64,
-    /// Process-wide peak resident set size (`VmHWM`) sampled right after
-    /// this scenario completed, bytes. The watermark is monotone over
-    /// the process, so concurrent scenarios observe the high-water mark
-    /// of everything run so far, not a per-scenario footprint.
+    /// Resident-set growth (`VmRSS` delta) across this scenario's run,
+    /// bytes. A per-scenario footprint estimate: unlike the old
+    /// process-wide `VmHWM` watermark — monotone, so every later
+    /// scenario was charged for the largest earlier one — the delta
+    /// isolates what this scenario itself held onto. Memory freed back
+    /// to the allocator's pools (not the OS) still counts toward the
+    /// first scenario that grew the heap, and concurrent scenarios can
+    /// bleed into each other's deltas, so treat it as an estimate.
     pub peak_rss_bytes: u64,
+    /// OS threads used for intra-scenario sharded execution (1 for the
+    /// serial scenarios).
+    pub shards: u32,
 }
 
 /// Bit-exact fingerprint of everything a scenario reports, for the
@@ -174,6 +201,19 @@ fn fingerprint(r: &RunResult) -> Vec<u64> {
     h.write(r.telemetry.as_bytes());
     fp.push(h.finish());
     fp
+}
+
+/// Order-sensitive FNV-1a hash over the full determinism fingerprint,
+/// compact enough to record per scenario in `BENCH_netsim.json`. Two
+/// runs of the same workload — at any `--shards` value — must produce
+/// the same hash; the bench uses this to prove the shard-curve entries
+/// computed identical results.
+pub(crate) fn result_fingerprint(r: &RunResult) -> u64 {
+    let mut h = iq_telemetry::Fnv64::new();
+    for word in fingerprint(r) {
+        h.write(&word.to_le_bytes());
+    }
+    h.finish()
 }
 
 /// A fixed-size worker pool executing scenarios in parallel while
@@ -217,9 +257,11 @@ impl Executor {
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
+                    let rss_before = crate::benchmode::current_rss_bytes();
                     let start = Instant::now();
                     let result = run_scenario(&spec.scenario);
                     let wall_s = start.elapsed().as_secs_f64();
+                    let rss_after = crate::benchmode::current_rss_bytes();
                     if verify {
                         let again = run_scenario(&spec.scenario);
                         assert!(
@@ -235,12 +277,14 @@ impl Executor {
                     } else {
                         0.0
                     };
+                    let shards = result.shards_used;
                     let report = ScenarioReport {
                         name: spec.name.clone(),
                         result,
                         wall_s,
                         events_per_sec,
-                        peak_rss_bytes: crate::benchmode::peak_rss_bytes(),
+                        peak_rss_bytes: rss_after.saturating_sub(rss_before),
+                        shards,
                     };
                     if tx.send((i, report)).is_err() {
                         break;
@@ -253,8 +297,8 @@ impl Executor {
             for (i, report) in rx {
                 if timing {
                     eprintln!(
-                        "  [{}] {:<44} {:>8.3}s  {:>12.0} events/s",
-                        i, report.name, report.wall_s, report.events_per_sec
+                        "  [{}] {:<44} {:>8.3}s  {:>12.0} events/s  [shards {}]",
+                        i, report.name, report.wall_s, report.events_per_sec, report.shards
                     );
                 }
                 slots[i] = Some(report);

@@ -9,9 +9,10 @@ use iq_echo::{
 };
 use iq_metrics::TimeSeries;
 use iq_netsim::{
-    build_dumbbell, time, Addr, AgentId, Dumbbell, DumbbellSpec, FlowId, Simulator,
+    build_dumbbell, time, Addr, AgentId, Dumbbell, DumbbellSpec, FlowId, LinkSpec, ShardedSim,
+    Simulator,
 };
-use iq_rudp::{CcAlgorithm, RudpConfig};
+use iq_rudp::{BbrParams, CcAlgorithm, CubicParams, RrrParams, RudpConfig};
 use iq_tcp::{TcpBulkSenderAgent, TcpConfig, TcpSenderConn, TcpSinkAgent};
 use iq_telemetry::{to_jsonl, TelemetrySink};
 use iq_trace::{MembershipConfig, MembershipTrace};
@@ -187,6 +188,15 @@ pub struct Scenario {
     /// share the bottleneck. `frame_sizes.len()` messages of
     /// `frame_sizes[0]` bytes are offered per flow.
     pub incast_flows: u32,
+    /// When non-zero, run the sharded `mega_flows` population instead:
+    /// this many independent dumbbell legs, each one left-side and one
+    /// right-side shard of a [`ShardedSim`], carrying
+    /// [`Self::incast_flows`] flows per leg (reused as flows-per-leg
+    /// here). Flows cycle through the incast sender classes *and* the
+    /// four congestion controllers. Executed with
+    /// [`crate::runner::shards`] OS threads; results are identical for
+    /// any thread count.
+    pub mega_legs: u32,
 }
 
 impl Scenario {
@@ -211,6 +221,7 @@ impl Scenario {
             cross: CrossTraffic::default(),
             deadline_s: 600.0,
             incast_flows: 0,
+            mega_legs: 0,
         }
     }
 
@@ -228,6 +239,33 @@ impl Scenario {
         sc.dumbbell = DumbbellSpec::paper_default(8);
         sc.dumbbell.bottleneck_bps = 200e6;
         sc.dumbbell.queue_bytes = 1_500_000;
+        sc.thresholds = (Some(0.10), Some(0.02));
+        sc.loss_tolerance = 0.40;
+        sc.deadline_s = 120.0;
+        sc
+    }
+
+    /// The sharded many-leg population: `legs` independent dumbbell legs
+    /// (each leg = one left shard + one right shard of a [`ShardedSim`],
+    /// joined by its bottleneck boundary link), `flows_per_leg` RUDP
+    /// flows per leg offering `msgs_per_flow` messages of `msg_size`
+    /// bytes each. Flows cycle through the incast sender classes and the
+    /// four congestion controllers (LDA / CUBIC / BBR / RRR), so the
+    /// population is heterogeneous in both reliability handling and
+    /// transport dynamics. `mega(8, 12_800, ..)` is the 102 400-flow
+    /// `mega_flows` benchmark scenario.
+    pub fn mega(legs: u32, flows_per_leg: u32, msgs_per_flow: usize, msg_size: u32) -> Self {
+        let mut sc = Self::new(
+            Scheme::Coordinated,
+            PolicySpec::Marking,
+            vec![msg_size; msgs_per_flow],
+        );
+        sc.mega_legs = legs;
+        sc.incast_flows = flows_per_leg;
+        // Per-leg bottleneck: wide enough that the population drains,
+        // narrow enough that the fleet contends (incast-style).
+        sc.dumbbell.bottleneck_bps = 200e6;
+        sc.dumbbell.queue_bytes = 4_000_000;
         sc.thresholds = (Some(0.10), Some(0.02));
         sc.loss_tolerance = 0.40;
         sc.deadline_s = 120.0;
@@ -276,6 +314,10 @@ pub struct RunResult {
     /// enabled via [`crate::runner::set_telemetry_capture`] or
     /// [`crate::runner::set_telemetry_dir`].
     pub telemetry: String,
+    /// OS threads used for intra-scenario sharded execution (1 for the
+    /// serial scenarios). Informational: never part of the determinism
+    /// fingerprint, because results are identical for any value.
+    pub shards_used: u32,
 }
 
 /// Attaches the configured cross traffic to a dumbbell. Pair 1 carries
@@ -332,6 +374,9 @@ fn add_cross_traffic(sim: &mut Simulator, db: &Dumbbell, cross: &CrossTraffic, d
 
 /// Runs one scenario to completion (or its deadline) and reports.
 pub fn run_scenario(sc: &Scenario) -> RunResult {
+    if sc.mega_legs > 0 {
+        return run_mega(sc);
+    }
     if sc.incast_flows > 0 {
         return run_incast(sc);
     }
@@ -425,6 +470,7 @@ fn run_rudp(sc: &Scenario) -> RunResult {
         sender_stats: Some(src.conn().stats()),
         events_processed,
         telemetry,
+        shards_used: 1,
     }
 }
 
@@ -602,6 +648,231 @@ fn run_incast(sc: &Scenario) -> RunResult {
         sender_stats: Some(stats),
         events_processed,
         telemetry,
+        shards_used: 1,
+    }
+}
+
+/// Runs the sharded `mega_flows` population selected by
+/// [`Scenario::mega_legs`].
+///
+/// Topology: `mega_legs` independent dumbbell legs, each split into a
+/// left and a right shard of one [`ShardedSim`] joined by its duplex
+/// bottleneck (the shard boundary; the bottleneck's propagation delay is
+/// the conservative lookahead). Each leg spreads
+/// [`Scenario::incast_flows`] flows round-robin over up to 32 host
+/// pairs. Flows cycle by *global* index through the four incast sender
+/// classes, each pinned to a different congestion controller — marked
+/// bulk on CUBIC, the adaptive §3.3 marking source on LDA, unmarked-
+/// discard bulk on BBR, sparse-ACK bulk on RRR — so every bottleneck
+/// carries a heterogeneous mix. Executes with [`crate::runner::shards`]
+/// OS threads over the fixed 2×`mega_legs`-shard partition; every
+/// output is byte-identical for any thread count.
+fn run_mega(sc: &Scenario) -> RunResult {
+    let threads = crate::runner::shards();
+    let mut sim = ShardedSim::new(sc.seed);
+    let legs: Vec<(usize, usize)> = (0..sc.mega_legs)
+        .map(|_| (sim.add_shard(), sim.add_shard()))
+        .collect();
+    sim.set_threads(threads);
+
+    let mut buses = Vec::new();
+    if crate::runner::telemetry_enabled() {
+        for shard in 0..sim.num_shards() {
+            let (sink, bus) = TelemetrySink::new_bus(0);
+            sim.attach_telemetry(shard, sink);
+            buses.push(bus);
+        }
+    }
+
+    // Same shape as `build_dumbbell`: 10 µs access hops, so the
+    // bottleneck's propagation delay (= the shard lookahead) makes up
+    // the rest of the one-way delay.
+    const ACCESS_DELAY: u64 = 10_000;
+    let dspec = &sc.dumbbell;
+    let bottleneck = LinkSpec::new(
+        dspec.bottleneck_bps,
+        dspec.one_way_delay.saturating_sub(2 * ACCESS_DELAY),
+        dspec.queue_bytes,
+    );
+    let access = LinkSpec::new(dspec.access_bps, ACCESS_DELAY, 16_000_000);
+
+    let flows_per_leg = sc.incast_flows;
+    let pairs_per_leg = (flows_per_leg as usize).clamp(1, 32);
+    let msgs_per_flow = sc.frame_sizes.len() as u64;
+    let msg_size = sc.frame_sizes.first().copied().unwrap_or(1400);
+
+    // One config per sender class, shared across every leg: flows of a
+    // class share the `Arc<RudpConfig>` (see `ConnBuilder::for_conn`).
+    let base = rudp_config(sc);
+    let mut marked_cfg = RudpConfig {
+        loss_tolerance: 0.0,
+        ..base.clone()
+    };
+    marked_cfg.cc.algorithm = CcAlgorithm::Cubic(CubicParams::default());
+    let marked = marked_cfg.builder(0, FlowId(0));
+    let adaptive = base.clone().builder(0, FlowId(0));
+    let mut unmarked_cfg = RudpConfig {
+        discard_unmarked: true,
+        ..base.clone()
+    };
+    unmarked_cfg.cc.algorithm = CcAlgorithm::BbrLike(BbrParams::default());
+    let unmarked = unmarked_cfg.builder(0, FlowId(0));
+    let mut sparse_cfg = RudpConfig {
+        loss_tolerance: 0.0,
+        ack_every: 4,
+        ..base.clone()
+    };
+    sparse_cfg.cc.algorithm = CcAlgorithm::Rrr(RrrParams::default());
+    let sparse_ack = sparse_cfg.builder(0, FlowId(0));
+
+    let mut bulk_txs = Vec::new();
+    let mut adaptive_txs = Vec::new();
+    let mut rxs = Vec::new();
+    let mut global = 0u32;
+    for &(left, right) in &legs {
+        let lr = sim.add_node(left);
+        let rr = sim.add_node(right);
+        sim.add_duplex_link(lr, rr, bottleneck.clone());
+        let mut left_hosts = Vec::with_capacity(pairs_per_leg);
+        let mut right_hosts = Vec::with_capacity(pairs_per_leg);
+        for _ in 0..pairs_per_leg {
+            let sh = sim.add_node(left);
+            let rh = sim.add_node(right);
+            sim.add_duplex_link(sh, lr, access.clone());
+            sim.add_duplex_link(rh, rr, access.clone());
+            left_hosts.push(sh);
+            right_hosts.push(rh);
+        }
+        for i in 0..flows_per_leg {
+            let pair = i as usize % pairs_per_leg;
+            let port = 1000 + (i as usize / pairs_per_leg) as u16;
+            let conn_id = 1000 + global;
+            let flow = FlowId(1000 + global);
+            let peer = Addr::new(right_hosts[pair], port);
+            let class_builder = match global % 4 {
+                0 => &marked,
+                1 => &adaptive,
+                2 => &unmarked,
+                _ => &sparse_ack,
+            };
+            if global % 4 == 1 {
+                let mut cfg = SourceConfig::new(conn_id, sc.frame_sizes.clone());
+                cfg.rudp = base.clone();
+                cfg.mode = CoordinationMode::Coordinated;
+                cfg.min_adapt_gap = time::secs(sc.min_adapt_gap_s);
+                cfg.min_lower_gap = time::secs(sc.min_lower_gap_s);
+                cfg.seed = sc.seed ^ u64::from(global) ^ 0x5eed;
+                let src = AdaptiveSourceAgent::new(
+                    cfg,
+                    Policy::Marking(MarkingAdapter::default()),
+                    peer,
+                    flow,
+                );
+                adaptive_txs.push(sim.add_agent(left_hosts[pair], port, Box::new(src)));
+            } else {
+                let unmark = if global % 4 == 2 { 4 } else { 0 };
+                let driver = class_builder.for_conn(conn_id, flow).build_sender(peer);
+                let agent =
+                    iq_rudp::BulkSenderAgent::from_driver(driver, msgs_per_flow, msg_size)
+                        .unmark_every(unmark);
+                bulk_txs.push(sim.add_agent(left_hosts[pair], port, Box::new(agent)));
+            }
+            let sink = EchoSinkAgent::from_driver(
+                class_builder.for_conn(conn_id, flow).build_receiver(),
+            );
+            rxs.push(sim.add_agent(right_hosts[pair], port, Box::new(sink)));
+            global += 1;
+        }
+    }
+
+    // Run in one-second slices until every flow finished or the
+    // deadline elapses.
+    let deadline = time::secs(sc.deadline_s);
+    while sim.now() < deadline {
+        sim.run_for(time::secs(1.0));
+        let all_done = rxs
+            .iter()
+            .all(|&rx| sim.agent::<EchoSinkAgent>(rx).is_some_and(|s| s.is_finished()));
+        if all_done {
+            break;
+        }
+    }
+
+    // Merge per-shard telemetry in shard-index order — the same
+    // declaration-order discipline the runner uses for `-j`, so the
+    // JSONL is independent of the thread count.
+    let mut telemetry = String::new();
+    for bus in &buses {
+        let bus = bus.lock().unwrap_or_else(|e| e.into_inner());
+        telemetry.push_str(&to_jsonl(&bus.records()));
+    }
+    let events_processed = sim.counters().events_processed;
+
+    // Aggregate exactly as the incast does: sums for volume metrics,
+    // the max for duration, flow 0's series for jitter shape.
+    let mut offered = 0u64;
+    let mut callbacks = (0u64, 0u64);
+    let mut stats = iq_rudp::SenderStats::default();
+    let mut coordination: Option<CoordinationLog> = None;
+    for &tx in &bulk_txs {
+        let a = sim.agent::<iq_rudp::BulkSenderAgent>(tx).expect("bulk sender");
+        offered += a.offered_msgs();
+        sum_sender_stats(&mut stats, &a.conn().stats());
+    }
+    for &tx in &adaptive_txs {
+        let a = sim.agent::<AdaptiveSourceAgent>(tx).expect("adaptive source");
+        offered += a.offered_msgs;
+        callbacks.0 += a.callbacks.0;
+        callbacks.1 += a.callbacks.1;
+        sum_sender_stats(&mut stats, &a.conn().stats());
+        let log = a.coordination_log();
+        match &mut coordination {
+            None => coordination = Some(log),
+            Some(agg) => {
+                agg.window_rescales += log.window_rescales;
+                agg.cond_corrections += log.cond_corrections;
+                agg.reliability_reports += log.reliability_reports;
+                agg.deferred_announcements += log.deferred_announcements;
+                agg.frequency_reports += log.frequency_reports;
+                agg.cumulative_factor *= log.cumulative_factor;
+            }
+        }
+    }
+    let mut delivered = 0u64;
+    let mut throughput = 0.0f64;
+    let mut duration = 0.0f64;
+    let mut finished = true;
+    for &rx in &rxs {
+        let s = sim.agent::<EchoSinkAgent>(rx).expect("sink");
+        delivered += s.metrics.messages();
+        throughput += s.metrics.throughput_kbps();
+        duration = duration.max(s.metrics.duration_s());
+        finished &= s.is_finished();
+    }
+    let first = sim.agent::<EchoSinkAgent>(rxs[0]).expect("sink 0");
+    RunResult {
+        label: "mega flows",
+        duration_s: duration,
+        throughput_kbps: throughput,
+        inter_arrival_s: first.metrics.inter_arrival_s(),
+        jitter_s: first.metrics.jitter_s(),
+        tagged_delay_ms: first.metrics.tagged_inter_arrival_s() * 1e3,
+        tagged_jitter_ms: first.metrics.tagged_jitter_s() * 1e3,
+        msgs_offered: offered,
+        msgs_delivered: delivered,
+        delivered_pct: if offered > 0 {
+            100.0 * delivered as f64 / offered as f64
+        } else {
+            0.0
+        },
+        jitter_series: first.metrics.jitter_series().clone(),
+        finished,
+        coordination,
+        callbacks,
+        sender_stats: Some(stats),
+        events_processed,
+        telemetry,
+        shards_used: threads as u32,
     }
 }
 
@@ -669,6 +940,7 @@ fn run_tcp(sc: &Scenario) -> RunResult {
         sender_stats: None,
         events_processed,
         telemetry: String::new(),
+        shards_used: 1,
     }
 }
 
@@ -800,6 +1072,53 @@ mod tests {
         assert_eq!(a.msgs_delivered, b.msgs_delivered);
         assert_eq!(a.jitter_s, b.jitter_s);
         assert_eq!(a.events_processed, b.events_processed);
+    }
+
+    #[test]
+    fn mega_runs_a_sharded_fleet_to_completion() {
+        let mut sc = Scenario::mega(2, 24, 3, 1400);
+        sc.deadline_s = 60.0;
+        let r = run_scenario(&sc);
+        assert!(r.finished, "mega did not finish: {r:?}");
+        assert_eq!(r.msgs_offered, 2 * 24 * 3);
+        // Unmarked-discard flows lose some messages by design; most of
+        // the fleet is reliable.
+        assert!(r.msgs_delivered > 2 * 24 * 3 * 8 / 10, "{}", r.msgs_delivered);
+        assert!(r.throughput_kbps > 0.0);
+        let stats = r.sender_stats.expect("aggregated sender stats");
+        assert!(stats.segments_acked > 0);
+        assert!(r.coordination.is_some(), "adaptive flows report coordination");
+        assert_eq!(r.shards_used, 1, "default shard thread count");
+    }
+
+    #[test]
+    fn mega_is_identical_for_any_shard_thread_count() {
+        // Serializes against sibling tests: both the telemetry-capture
+        // switch and the shard thread count are process-globals.
+        let _g = crate::runner::capture_lock_for_tests();
+        crate::runner::set_telemetry_capture(true);
+        let mut sc = Scenario::mega(3, 17, 3, 1400);
+        sc.deadline_s = 60.0;
+        let runs: Vec<RunResult> = [1usize, 2, 4]
+            .iter()
+            .map(|&threads| {
+                crate::runner::set_shards(threads);
+                run_scenario(&sc)
+            })
+            .collect();
+        crate::runner::set_shards(1);
+        crate::runner::set_telemetry_capture(false);
+        let a = &runs[0];
+        assert!(!a.telemetry.is_empty(), "capture was on");
+        for b in &runs[1..] {
+            assert_eq!(a.duration_s.to_bits(), b.duration_s.to_bits());
+            assert_eq!(a.jitter_s.to_bits(), b.jitter_s.to_bits());
+            assert_eq!(a.msgs_delivered, b.msgs_delivered);
+            assert_eq!(a.events_processed, b.events_processed);
+            assert_eq!(a.telemetry, b.telemetry, "telemetry JSONL diverged");
+        }
+        assert_eq!(runs[1].shards_used, 2);
+        assert_eq!(runs[2].shards_used, 4);
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod link;
 pub mod packet;
 pub mod routing;
 pub mod sched;
+pub mod shard;
 pub mod sim;
 pub mod slab;
 pub mod time;
@@ -67,6 +68,7 @@ pub use link::{LinkSpec, LinkStats, QueueDiscipline, RedParams};
 pub use packet::{payload, Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
 pub use routing::RoutingTable;
 pub use sched::{EventQueue, EventSource};
+pub use shard::{ShardAgentId, ShardEventSource, ShardedSim};
 pub use sim::{SimCounters, Simulator};
 pub use slab::{PacketKey, TimerKey};
 pub use time::{Time, TimeDelta};

@@ -1,0 +1,685 @@
+//! Conservative-lookahead parallel simulation: one logical simulation
+//! sharded into topology domains that execute on multiple cores.
+//!
+//! ## Model
+//!
+//! A [`ShardedSim`] is built like a [`Simulator`], except every node is
+//! assigned to a *shard* (a topology domain — e.g. one side of a
+//! dumbbell leg). Each shard owns a complete serial [`Simulator`]: its
+//! own event queue, timer and packet slabs, RNG, trace collector, and
+//! telemetry sink. Links whose endpoints live on different shards are
+//! *boundary links*; everything else runs exactly as in the serial
+//! engine.
+//!
+//! ## Lookahead rule (null-message-free conservative PDES)
+//!
+//! A packet crossing a boundary link is queued, serialized, and subjected
+//! to loss/jitter on the *sending* shard; only the final far-end arrival
+//! crosses shards. Since an event executing at time `t` can produce an
+//! arrival no earlier than `t + delay(link)`, the link's propagation
+//! delay is free lookahead. Each shard `i` publishes an *exclusive*
+//! clock `C[i]` ("all events with timestamp `< C[i]` have executed and
+//! their boundary output is visible"), and may safely execute every
+//! event with timestamp
+//!
+//! ```text
+//! t < min(deadline + 1, min over ingress boundary links L of
+//!                          (C[src(L)] + delay(L)))
+//! ```
+//!
+//! Boundary delays must be strictly positive (asserted at build time),
+//! which also guarantees livelock-free progress: the globally slowest
+//! shard can always advance by at least the minimum boundary delay.
+//!
+//! ## Determinism
+//!
+//! The shard *partition* is fixed by the topology; `threads` only
+//! chooses how many OS threads execute the fixed set of shards
+//! (round-robin by shard index, like the runner's `-j`). Cross-shard
+//! arrivals carry a content-derived sequence number — built from the
+//! boundary link id and a per-link message counter, both of which depend
+//! only on the sending shard's (deterministic) execution order — so the
+//! receiving shard's event order never depends on *when* a message was
+//! drained. Merged outputs (counters, flow stats, telemetry) are
+//! combined in shard-index order, so every run is byte-identical for any
+//! thread count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::agent::Agent;
+use crate::event::Event;
+use crate::link::{LinkSpec, LinkStats};
+use crate::packet::{AgentId, FlowId, LinkId, NodeId, Packet};
+use crate::sched::{EventQueue, EventSource};
+use crate::sim::{SimCounters, Simulator};
+use crate::time::{Time, TimeDelta};
+use crate::trace::FlowStats;
+
+/// Boundary-arrival sequence numbers live above every locally assigned
+/// sequence number, so same-timestamp local events always execute before
+/// same-timestamp cross-shard arrivals — an ordering that is stable by
+/// construction instead of depending on drain timing.
+const BOUNDARY_SEQ_BASE: u64 = 1 << 63;
+
+/// Bits reserved for the per-link message counter inside a boundary
+/// sequence number (the link id occupies the bits above).
+const BOUNDARY_COUNTER_BITS: u32 = 40;
+
+/// Content-derived sequence number for the `counter`-th arrival crossing
+/// boundary link `link`. Both inputs are functions of the sending
+/// shard's deterministic execution, so the value is independent of
+/// thread interleaving.
+pub fn boundary_seq(link: LinkId, counter: u64) -> u64 {
+    debug_assert!(u64::from(link.0) < 1 << (63 - BOUNDARY_COUNTER_BITS));
+    debug_assert!(counter < 1 << BOUNDARY_COUNTER_BITS);
+    BOUNDARY_SEQ_BASE | (u64::from(link.0) << BOUNDARY_COUNTER_BITS) | counter
+}
+
+/// A packet in flight between shards: the far-end arrival of a boundary
+/// link, carrying its content-derived sequence number.
+pub(crate) struct WireMsg {
+    /// The boundary link the packet crossed.
+    pub(crate) link: LinkId,
+    /// Arrival time at the link's `to` node (serialization, propagation
+    /// and jitter already applied on the sending shard).
+    pub(crate) at: Time,
+    /// [`boundary_seq`] value for this arrival.
+    pub(crate) seq: u64,
+    /// The packet itself (moved out of the sender's slab).
+    pub(crate) pkt: Packet,
+}
+
+/// The per-shard event source: the serial [`EventQueue`] plus an
+/// exclusive execution *horizon*.
+///
+/// Inside a [`ShardedSim`], a shard may only execute events strictly
+/// below its current lookahead limit; the horizon enforces that bound at
+/// the source itself, so no call path can accidentally pop an event the
+/// conservative protocol has not yet cleared. With the horizon at its
+/// default (`Time::MAX`, meaning "unbounded") the source behaves
+/// bit-for-bit like the bare [`EventQueue`] — which is how the serial
+/// [`Simulator`] runs it.
+pub struct ShardEventSource {
+    queue: EventQueue,
+    /// Exclusive bound: events at or beyond this time are withheld.
+    horizon: Time,
+}
+
+impl ShardEventSource {
+    /// An empty source with an unbounded horizon.
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            horizon: Time::MAX,
+        }
+    }
+
+    /// Sets the exclusive execution horizon (`Time::MAX` = unbounded).
+    pub fn set_horizon(&mut self, horizon: Time) {
+        self.horizon = horizon;
+    }
+
+    /// The current exclusive horizon.
+    pub fn horizon(&self) -> Time {
+        self.horizon
+    }
+
+    /// Deadline actually usable given `deadline` and the horizon; `None`
+    /// when the horizon alone already forbids any pop.
+    fn effective_deadline(&self, deadline: Time) -> Option<Time> {
+        if self.horizon == Time::MAX {
+            Some(deadline)
+        } else if self.horizon == 0 {
+            None
+        } else {
+            Some(deadline.min(self.horizon - 1))
+        }
+    }
+}
+
+impl EventSource for ShardEventSource {
+    fn push_event(&mut self, ev: Event) {
+        self.queue.push(ev);
+    }
+
+    fn next_time(&mut self) -> Option<Time> {
+        let t = self.queue.peek_time()?;
+        // `Time::MAX` means "unbounded", so an event sitting exactly at
+        // `Time::MAX` is still visible there.
+        (self.horizon == Time::MAX || t < self.horizon).then_some(t)
+    }
+
+    fn next_event(&mut self) -> Option<Event> {
+        match self.effective_deadline(Time::MAX) {
+            Some(Time::MAX) => self.queue.pop(),
+            Some(d) => self.queue.pop_before(d),
+            None => None,
+        }
+    }
+
+    fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    fn next_event_before(&mut self, deadline: Time) -> Option<Event> {
+        self.queue.pop_before(self.effective_deadline(deadline)?)
+    }
+}
+
+/// Handle to an agent registered on a [`ShardedSim`]: the shard index
+/// plus the agent id inside that shard's serial simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardAgentId {
+    /// Index of the shard the agent lives on.
+    pub shard: usize,
+    /// The agent's id within that shard.
+    pub agent: AgentId,
+}
+
+/// One inter-shard link: where it crosses and how much lookahead it buys.
+struct Boundary {
+    src_shard: usize,
+    /// Lookahead contributed to the destination shard (= the link's
+    /// propagation delay; serialization and jitter only add on top).
+    lookahead: u64,
+}
+
+/// A simulation partitioned into topology shards that execute in
+/// parallel under the conservative-lookahead protocol (module docs).
+///
+/// Construction mirrors [`Simulator`], with two differences: shards are
+/// declared first ([`Self::add_shard`]), and every node names its owning
+/// shard. Boundary links are detected automatically and must have a
+/// strictly positive propagation delay.
+pub struct ShardedSim {
+    shards: Vec<Simulator>,
+    /// Owning shard of each node, indexed by `NodeId`.
+    owner: Vec<usize>,
+    boundaries: Vec<Boundary>,
+    /// Boundary index per link id (`u32::MAX` = intra-shard link).
+    boundary_of_link: Vec<u32>,
+    /// Inbound boundary indices per shard.
+    ingress: Vec<Vec<usize>>,
+    /// Exclusive per-shard clocks (see module docs); persist across
+    /// successive `run_until` calls.
+    clocks: Vec<AtomicU64>,
+    /// One mailbox per boundary link (single producer, single consumer;
+    /// the mutex only arbitrates flush vs. drain).
+    channels: Vec<Mutex<Vec<WireMsg>>>,
+    threads: usize,
+    now: Time,
+    seed: u64,
+}
+
+impl ShardedSim {
+    /// Creates an empty sharded simulation. Shard RNG streams and packet
+    /// id spaces are derived from `seed` and the shard index, so results
+    /// depend only on `seed` and the topology — never on thread count.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            shards: Vec::new(),
+            owner: Vec::new(),
+            boundaries: Vec::new(),
+            boundary_of_link: Vec::new(),
+            ingress: Vec::new(),
+            clocks: Vec::new(),
+            channels: Vec::new(),
+            threads: 1,
+            now: 0,
+            seed,
+        }
+    }
+
+    /// Declares a new shard and returns its index. All shards must be
+    /// declared before the first node.
+    pub fn add_shard(&mut self) -> usize {
+        assert!(
+            self.owner.is_empty(),
+            "declare all shards before adding nodes (shards fix the \
+             partition; nodes are mirrored into every shard)"
+        );
+        let idx = self.shards.len();
+        let mut sim = Simulator::new(mix_seed(self.seed, idx));
+        sim.set_packet_id_base((idx as u64) << 48);
+        self.shards.push(sim);
+        self.ingress.push(Vec::new());
+        self.clocks.push(AtomicU64::new(0));
+        idx
+    }
+
+    /// Number of declared shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Sets how many OS threads execute the shards (default 1). Shard
+    /// `i` runs on thread `i % threads`; the value never affects
+    /// results, only wall-clock time.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
+    }
+
+    /// Adds a node owned by `shard`. The node id is global: it is
+    /// mirrored into every shard so routing tables cover the full
+    /// topology, but only the owning shard hosts its agents and events.
+    pub fn add_node(&mut self, shard: usize) -> NodeId {
+        assert!(shard < self.shards.len(), "no such shard {shard}");
+        let mut id = None;
+        for sim in &mut self.shards {
+            let nid = sim.add_node();
+            debug_assert!(id.is_none() || id == Some(nid));
+            id = Some(nid);
+        }
+        self.owner.push(shard);
+        id.expect("add_shard must be called before add_node")
+    }
+
+    /// Adds a unidirectional link. Links with endpoints on different
+    /// shards become boundary links and must have `spec.delay > 0` — the
+    /// delay is the lookahead that lets the two shards run concurrently.
+    pub fn add_link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let (src, dst) = (self.owner[from.0 as usize], self.owner[to.0 as usize]);
+        if src != dst {
+            assert!(
+                spec.delay > 0,
+                "boundary link {from}->{to} (shard {src} -> {dst}) needs a \
+                 positive propagation delay: the delay is the conservative \
+                 lookahead, and zero would deadlock the shard protocol"
+            );
+        }
+        let mut id = None;
+        for sim in &mut self.shards {
+            let lid = sim.add_link(from, to, spec.clone());
+            debug_assert!(id.is_none() || id == Some(lid));
+            id = Some(lid);
+        }
+        let id = id.expect("add_shard must be called before add_link");
+        debug_assert_eq!(self.boundary_of_link.len(), id.0 as usize);
+        if src != dst {
+            self.shards[src].mark_egress(id);
+            self.boundary_of_link.push(self.boundaries.len() as u32);
+            self.ingress[dst].push(self.boundaries.len());
+            self.boundaries.push(Boundary {
+                src_shard: src,
+                lookahead: spec.delay,
+            });
+            self.channels.push(Mutex::new(Vec::new()));
+        } else {
+            self.boundary_of_link.push(u32::MAX);
+        }
+        id
+    }
+
+    /// Adds a pair of unidirectional links with identical characteristics.
+    pub fn add_duplex_link(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        let ab = self.add_link(a, b, spec.clone());
+        let ba = self.add_link(b, a, spec);
+        (ab, ba)
+    }
+
+    /// Registers an agent at `(node, port)` on the node's owning shard.
+    pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> ShardAgentId {
+        let shard = self.owner[node.0 as usize];
+        let agent = self.shards[shard].add_agent(node, port, agent);
+        ShardAgentId { shard, agent }
+    }
+
+    /// Attaches a telemetry sink to one shard (see
+    /// [`Simulator::attach_telemetry`]). Per-shard sinks keep telemetry
+    /// lock-free across threads; merge the buses in shard-index order
+    /// for a deterministic combined stream.
+    pub fn attach_telemetry(&mut self, shard: usize, sink: iq_telemetry::TelemetrySink) {
+        self.shards[shard].attach_telemetry(sink);
+    }
+
+    /// Current simulation time (the last `run_until` deadline reached).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Read access to one shard's serial simulator (post-run inspection).
+    pub fn shard(&self, idx: usize) -> &Simulator {
+        &self.shards[idx]
+    }
+
+    /// Immutable access to a concrete agent type (see [`Simulator::agent`]).
+    pub fn agent<T: Agent>(&self, id: ShardAgentId) -> Option<&T> {
+        self.shards[id.shard].agent(id.agent)
+    }
+
+    /// Mutable access to a concrete agent type.
+    pub fn agent_mut<T: Agent>(&mut self, id: ShardAgentId) -> Option<&mut T> {
+        self.shards[id.shard].agent_mut(id.agent)
+    }
+
+    /// Simulation-wide counters, summed over shards in index order.
+    pub fn counters(&self) -> SimCounters {
+        let mut total = SimCounters::default();
+        for s in &self.shards {
+            let c = s.counters();
+            total.packets_sent += c.packets_sent;
+            total.packets_delivered += c.packets_delivered;
+            total.packets_unroutable += c.packets_unroutable;
+            total.events_processed += c.events_processed;
+            total.timers_fired += c.timers_fired;
+        }
+        total
+    }
+
+    /// Ground-truth counters for one flow, summed over shards (a flow's
+    /// sends are accounted where its source lives, deliveries where its
+    /// sink lives).
+    pub fn flow_stats(&self, flow: FlowId) -> FlowStats {
+        let mut total = FlowStats::default();
+        for s in &self.shards {
+            let f = s.flow_stats(flow);
+            total.sent_packets += f.sent_packets;
+            total.sent_bytes += f.sent_bytes;
+            total.delivered_packets += f.delivered_packets;
+            total.delivered_bytes += f.delivered_bytes;
+            total.dropped_packets += f.dropped_packets;
+            total.random_losses += f.random_losses;
+        }
+        total
+    }
+
+    /// Stats for one link, read from the shard that owns its sending
+    /// side (queueing, serialization, and loss all happen there).
+    pub fn link_stats(&self, id: LinkId) -> LinkStats {
+        let from = self.shards[0].link_from(id);
+        self.shards[self.owner[from.0 as usize]].link_stats(id)
+    }
+
+    /// Runs every shard up to and including `deadline` under the
+    /// conservative-lookahead protocol, then returns the new time.
+    /// Callable repeatedly with increasing deadlines (the usual
+    /// slice-and-poll pattern).
+    pub fn run_until(&mut self, deadline: Time) -> Time {
+        assert!(!self.shards.is_empty(), "no shards declared");
+        let target = deadline
+            .checked_add(1)
+            .expect("deadline too close to Time::MAX");
+        let threads = self.threads.clamp(1, self.shards.len());
+
+        let clocks = &self.clocks;
+        let channels = &self.channels;
+        let ingress = &self.ingress;
+        let boundaries = &self.boundaries;
+        let boundary_of_link = &self.boundary_of_link;
+
+        // Fixed shard-to-thread assignment: thread t executes shards
+        // i ≡ t (mod threads). The partition is what determines results;
+        // this mapping only balances work.
+        let mut groups: Vec<Vec<(usize, &mut Simulator)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (i, sim) in self.shards.iter_mut().enumerate() {
+            groups[i % threads].push((i, sim));
+        }
+
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|mut group| {
+                    scope.spawn(move || {
+                        loop {
+                            let mut all_done = true;
+                            let mut progressed = false;
+                            for (i, sim) in &mut group {
+                                let i = *i;
+                                // Only this thread stores clocks[i].
+                                let clock = clocks[i].load(Ordering::Relaxed);
+                                if clock >= target {
+                                    continue;
+                                }
+                                all_done = false;
+                                let mut limit = target;
+                                for &b in &ingress[i] {
+                                    let src = clocks[boundaries[b].src_shard]
+                                        .load(Ordering::Acquire);
+                                    limit =
+                                        limit.min(src.saturating_add(boundaries[b].lookahead));
+                                }
+                                if limit <= clock {
+                                    continue;
+                                }
+                                // Drain mailboxes first: everything below
+                                // `limit` is guaranteed to be present by
+                                // the neighbors' flush-before-publish.
+                                for &b in &ingress[i] {
+                                    let msgs =
+                                        std::mem::take(&mut *channels[b].lock().unwrap());
+                                    for m in msgs {
+                                        sim.inject_arrival(m);
+                                    }
+                                }
+                                sim.run_window(limit);
+                                // Flush boundary output *before*
+                                // publishing the clock, so a neighbor
+                                // that observes the new clock also
+                                // observes every message it implies.
+                                sim.flush_outbox(|m| {
+                                    let b = boundary_of_link[m.link.0 as usize] as usize;
+                                    channels[b].lock().unwrap().push(m);
+                                });
+                                clocks[i].store(limit, Ordering::Release);
+                                progressed = true;
+                            }
+                            if all_done {
+                                break;
+                            }
+                            if !progressed {
+                                std::thread::yield_now();
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("shard worker panicked");
+            }
+        });
+
+        self.now = self.now.max(deadline);
+        self.now
+    }
+
+    /// Runs for an additional `delta` of simulated time.
+    pub fn run_for(&mut self, delta: TimeDelta) -> Time {
+        let deadline = self.now.saturating_add(delta);
+        self.run_until(deadline)
+    }
+}
+
+/// Per-shard RNG/id-space salt: splitmix64-style odd-constant mix so
+/// shard streams are decorrelated but fully determined by (seed, index).
+fn mix_seed(seed: u64, shard: usize) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::Ctx;
+    use crate::packet::{payload, Addr};
+    use crate::time::{millis, secs, MILLISECOND};
+
+    /// Sends `count` packets to `dst`, one per millisecond, then records
+    /// the arrival time of every echo.
+    struct Pinger {
+        dst: Addr,
+        count: u32,
+        sent: u32,
+        echoes: Vec<(Time, u32)>,
+    }
+    impl Agent for Pinger {
+        fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+            ctx.set_timer(0, 0);
+        }
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            let v = *pkt.payload_as::<u32>().unwrap();
+            self.echoes.push((ctx.now(), v));
+        }
+        fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+            if self.sent < self.count {
+                ctx.send(self.dst, 400, FlowId(1), payload(self.sent));
+                self.sent += 1;
+                ctx.set_timer(MILLISECOND, 0);
+            }
+        }
+    }
+
+    /// Echoes every packet straight back to its source.
+    #[derive(Default)]
+    struct Echoer {
+        got: u32,
+    }
+    impl Agent for Echoer {
+        fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+            self.got += 1;
+            let v = *pkt.payload_as::<u32>().unwrap();
+            ctx.send(pkt.src, 400, FlowId(2), payload(v));
+        }
+    }
+
+    /// Two shards joined by one duplex boundary link, echo traffic both
+    /// ways. Returns the pinger's echo log and the global counters.
+    fn echo_run(threads: usize) -> (Vec<(Time, u32)>, SimCounters) {
+        let mut sim = ShardedSim::new(7);
+        let (s0, s1) = (sim.add_shard(), sim.add_shard());
+        sim.set_threads(threads);
+        let a = sim.add_node(s0);
+        let b = sim.add_node(s1);
+        sim.add_duplex_link(a, b, LinkSpec::new(10e6, millis(5), 64_000));
+        let ping = sim.add_agent(a, 1, Box::new(Pinger {
+            dst: Addr::new(b, 2),
+            count: 50,
+            sent: 0,
+            echoes: Vec::new(),
+        }));
+        sim.add_agent(b, 2, Box::new(Echoer::default()));
+        sim.run_until(secs(2.0));
+        let log = sim.agent::<Pinger>(ping).unwrap().echoes.clone();
+        (log, sim.counters())
+    }
+
+    #[test]
+    fn echoes_cross_the_boundary_both_ways() {
+        let (log, counters) = echo_run(1);
+        assert_eq!(log.len(), 50, "every ping must be echoed back");
+        assert_eq!(counters.packets_sent, 100);
+        assert_eq!(counters.packets_delivered, 100);
+        // One-way: ~5 ms propagation + serialization each direction.
+        assert!(log[0].0 >= millis(10));
+        // Payloads come back in send order.
+        assert!(log.windows(2).all(|w| w[0].1 + 1 == w[1].1));
+    }
+
+    #[test]
+    fn results_are_identical_for_any_thread_count() {
+        let base = echo_run(1);
+        for threads in [2, 3, 8] {
+            let got = echo_run(threads);
+            assert_eq!(got.0, base.0, "echo log differs at {threads} threads");
+            assert_eq!(
+                got.1.events_processed, base.1.events_processed,
+                "event count differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn packets_forward_across_intermediate_shards() {
+        // Three shards in a line: a -> r -> b. The middle shard only
+        // forwards, so the packet crosses two boundaries.
+        let mut sim = ShardedSim::new(3);
+        let (s0, s1, s2) = (sim.add_shard(), sim.add_shard(), sim.add_shard());
+        sim.set_threads(3);
+        let a = sim.add_node(s0);
+        let r = sim.add_node(s1);
+        let b = sim.add_node(s2);
+        sim.add_duplex_link(a, r, LinkSpec::new(10e6, millis(2), 64_000));
+        sim.add_duplex_link(r, b, LinkSpec::new(10e6, millis(2), 64_000));
+        let ping = sim.add_agent(a, 1, Box::new(Pinger {
+            dst: Addr::new(b, 2),
+            count: 10,
+            sent: 0,
+            echoes: Vec::new(),
+        }));
+        let echo = sim.add_agent(b, 2, Box::new(Echoer::default()));
+        sim.run_until(secs(1.0));
+        assert_eq!(sim.agent::<Echoer>(echo).unwrap().got, 10);
+        assert_eq!(sim.agent::<Pinger>(ping).unwrap().echoes.len(), 10);
+        assert_eq!(sim.flow_stats(FlowId(1)).delivered_packets, 10);
+        assert_eq!(sim.flow_stats(FlowId(2)).delivered_packets, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive propagation delay")]
+    fn zero_delay_boundary_link_is_rejected() {
+        let mut sim = ShardedSim::new(1);
+        let (s0, s1) = (sim.add_shard(), sim.add_shard());
+        let a = sim.add_node(s0);
+        let b = sim.add_node(s1);
+        sim.add_link(a, b, LinkSpec::new(10e6, 0, 64_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "declare all shards before adding nodes")]
+    fn late_shard_declaration_is_rejected() {
+        let mut sim = ShardedSim::new(1);
+        let s0 = sim.add_shard();
+        sim.add_node(s0);
+        sim.add_shard();
+    }
+
+    #[test]
+    fn boundary_seqs_sort_after_local_seqs_and_by_content() {
+        let a = boundary_seq(LinkId(3), 0);
+        let b = boundary_seq(LinkId(3), 1);
+        let c = boundary_seq(LinkId(4), 0);
+        assert!(a < b && b < c, "ordered by (link, counter)");
+        assert!(a > u64::MAX / 2, "always above realistic local seqs");
+    }
+
+    #[test]
+    fn successive_run_until_slices_match_one_big_run() {
+        let sliced = {
+            let mut log = Vec::new();
+            let mut sim = ShardedSim::new(9);
+            let (s0, s1) = (sim.add_shard(), sim.add_shard());
+            let a = sim.add_node(s0);
+            let b = sim.add_node(s1);
+            sim.add_duplex_link(a, b, LinkSpec::new(10e6, millis(5), 64_000));
+            let ping = sim.add_agent(a, 1, Box::new(Pinger {
+                dst: Addr::new(b, 2),
+                count: 30,
+                sent: 0,
+                echoes: Vec::new(),
+            }));
+            sim.add_agent(b, 2, Box::new(Echoer::default()));
+            for slice in 1..=8 {
+                sim.run_until(millis(250) * slice);
+            }
+            log.extend(sim.agent::<Pinger>(ping).unwrap().echoes.clone());
+            log
+        };
+        let whole = {
+            let mut sim = ShardedSim::new(9);
+            let (s0, s1) = (sim.add_shard(), sim.add_shard());
+            let a = sim.add_node(s0);
+            let b = sim.add_node(s1);
+            sim.add_duplex_link(a, b, LinkSpec::new(10e6, millis(5), 64_000));
+            let ping = sim.add_agent(a, 1, Box::new(Pinger {
+                dst: Addr::new(b, 2),
+                count: 30,
+                sent: 0,
+                echoes: Vec::new(),
+            }));
+            sim.add_agent(b, 2, Box::new(Echoer::default()));
+            sim.run_until(millis(2000));
+            sim.agent::<Pinger>(ping).unwrap().echoes.clone()
+        };
+        assert_eq!(sliced, whole);
+    }
+}

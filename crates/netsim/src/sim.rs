@@ -5,8 +5,9 @@
 //! The event loop is built around three structures chosen for per-event
 //! cost (see `DESIGN.md` § "Scheduler internals"):
 //!
-//! * a two-tier [`EventQueue`] (timer wheel + overflow heap) instead of
-//!   one big binary heap;
+//! * a two-tier [`EventQueue`](crate::sched::EventQueue) (timer wheel +
+//!   overflow heap) instead of one big binary heap, wrapped in a
+//!   [`ShardEventSource`] whose horizon stays unbounded in serial runs;
 //! * a `PacketSlab` that owns every in-flight packet, so events and
 //!   link queues move 4-byte keys, not ~100-byte packets;
 //! * a `TimerSlab` with generation-checked slots, so cancellation is
@@ -24,7 +25,8 @@ use crate::event::{Event, EventKind};
 use crate::link::{Enqueue, LinkSpec, LinkState, LinkStats};
 use crate::packet::{Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
 use crate::routing::RoutingTable;
-use crate::sched::{EventQueue, EventSource};
+use crate::sched::EventSource;
+use crate::shard::{boundary_seq, ShardEventSource, WireMsg};
 use crate::slab::{PacketKey, PacketSlab, TimerKey, TimerSlab};
 use crate::time::{Time, TimeDelta};
 use crate::trace::{PacketEvent, PacketEventKind, TraceCollector};
@@ -48,7 +50,7 @@ pub struct SimCounters {
 /// [`Ctx`] can borrow the world mutably while one agent is being invoked.
 pub struct SimCore {
     pub(crate) now: Time,
-    queue: EventQueue,
+    queue: ShardEventSource,
     next_seq: u64,
     next_packet_id: u64,
     timers: TimerSlab,
@@ -66,6 +68,15 @@ pub struct SimCore {
     /// Per-flow accounting and optional packet log.
     pub trace: TraceCollector,
     pub(crate) stopped: bool,
+    /// Per-link flag: `true` when the link's far end lives on another
+    /// shard, so arrivals must cross via the outbox instead of the local
+    /// event queue. All-false in a serial simulation.
+    egress: Vec<bool>,
+    /// Per-link counter of messages sent across an egress link; feeds
+    /// the content-derived boundary sequence numbers.
+    egress_seq: Vec<u64>,
+    /// Boundary arrivals produced since the last flush.
+    outbox: Vec<WireMsg>,
 }
 
 impl SimCore {
@@ -225,6 +236,19 @@ impl SimCore {
                 size: pkt.size,
                 kind: PacketEventKind::LostRandom(link_id),
             });
+        } else if self.egress[link_id.0 as usize] {
+            // The far end lives on another shard: the arrival leaves via
+            // the outbox with a content-derived sequence number instead
+            // of the local queue (see `crate::shard`).
+            let counter = self.egress_seq[link_id.0 as usize];
+            self.egress_seq[link_id.0 as usize] = counter + 1;
+            let pkt = self.packets.take(q.key);
+            self.outbox.push(WireMsg {
+                link: link_id,
+                at: arrival,
+                seq: boundary_seq(link_id, counter),
+                pkt,
+            });
         } else {
             self.schedule(
                 arrival,
@@ -253,7 +277,7 @@ impl Simulator {
         Self {
             core: SimCore {
                 now: 0,
-                queue: EventQueue::new(),
+                queue: ShardEventSource::new(),
                 next_seq: 0,
                 next_packet_id: 0,
                 timers: TimerSlab::default(),
@@ -267,6 +291,9 @@ impl Simulator {
                 counters: SimCounters::default(),
                 trace: TraceCollector::default(),
                 stopped: false,
+                egress: Vec::new(),
+                egress_seq: Vec::new(),
+                outbox: Vec::new(),
             },
             agents: Vec::new(),
             agent_addrs: Vec::new(),
@@ -300,6 +327,8 @@ impl Simulator {
             );
         }
         self.core.links.push(LinkState::new(spec, from, to));
+        self.core.egress.push(false);
+        self.core.egress_seq.push(0);
         self.core.routes_dirty = true;
         id
     }
@@ -513,6 +542,72 @@ impl Simulator {
         self.core.stopped = false;
         while !self.core.stopped && self.step() {}
         self.core.now
+    }
+
+    // ---- shard-engine hooks (see `crate::shard`) -----------------------
+
+    /// Marks `link` as crossing out of this shard: its arrivals go to
+    /// the outbox instead of the local event queue.
+    pub(crate) fn mark_egress(&mut self, link: LinkId) {
+        self.core.egress[link.0 as usize] = true;
+    }
+
+    /// Offsets this shard's packet-id space so ids stay globally unique
+    /// across shards (ids surface in traces and telemetry).
+    pub(crate) fn set_packet_id_base(&mut self, base: u64) {
+        debug_assert_eq!(self.core.next_packet_id, 0);
+        self.core.next_packet_id = base;
+    }
+
+    /// The sending endpoint of `link` (shards mirror the full topology,
+    /// so any shard can answer this).
+    pub(crate) fn link_from(&self, link: LinkId) -> NodeId {
+        self.core.links[link.0 as usize].from
+    }
+
+    /// Accepts a boundary arrival from another shard: the packet enters
+    /// this shard's slab and its `LinkArrival` is queued under the
+    /// message's content-derived sequence number (never touching
+    /// `next_seq`, so local sequencing stays independent of drain
+    /// timing).
+    pub(crate) fn inject_arrival(&mut self, msg: WireMsg) {
+        let dst_agent = self.core.resolve_port(msg.pkt.dst);
+        let key = self.core.packets.insert(msg.pkt, dst_agent);
+        EventSource::push_event(
+            &mut self.core.queue,
+            Event {
+                at: msg.at,
+                seq: msg.seq,
+                kind: EventKind::LinkArrival {
+                    link: msg.link,
+                    packet: key,
+                },
+            },
+        );
+    }
+
+    /// Executes every pending event with timestamp strictly below
+    /// `limit_excl` (one conservative-lookahead window). The horizon is
+    /// enforced at the event source itself.
+    pub(crate) fn run_window(&mut self, limit_excl: Time) {
+        self.ensure_routes();
+        self.core.queue.set_horizon(limit_excl);
+        while let Some(ev) = EventSource::next_event(&mut self.core.queue) {
+            self.exec_event(ev);
+        }
+        assert!(
+            !self.core.stopped,
+            "stop_simulation() is not supported under sharded execution \
+             (a shard stopping early would break the lookahead contract)"
+        );
+        self.core.queue.set_horizon(Time::MAX);
+    }
+
+    /// Drains the boundary arrivals produced since the last flush.
+    pub(crate) fn flush_outbox(&mut self, mut f: impl FnMut(WireMsg)) {
+        for m in self.core.outbox.drain(..) {
+            f(m);
+        }
     }
 }
 

@@ -67,8 +67,11 @@ pub struct PacketEvent {
 }
 
 /// Flow ids below this threshold use the O(1) dense lookup table
-/// (16 KiB at worst); higher ids fall back to a linear scan.
-const DENSE_IDS: u32 = 4096;
+/// (512 KiB at worst — the table is grown lazily to the highest id
+/// actually seen); higher ids fall back to a linear scan. Sized to
+/// cover the 100k-flow `mega_flows` population, where a linear scan
+/// would cost O(flows) on every packet event.
+const DENSE_IDS: u32 = 1 << 17;
 
 /// Collects flow counters and (optionally) packet events.
 #[derive(Debug, Default)]

@@ -1,0 +1,183 @@
+//! Cross-shard determinism: a randomized multi-leg topology must produce
+//! byte-identical results — delivery logs, counters, flow stats, and the
+//! merged telemetry JSONL — no matter how many OS threads execute the
+//! fixed shard partition. This mirrors the runner's `-j` determinism
+//! test one level down, at the engine itself.
+
+use iq_netsim::agent::{Agent, Ctx};
+use iq_netsim::{
+    payload, Addr, FlowId, LinkSpec, Packet, ShardedSim, Time,
+};
+use iq_telemetry::{to_jsonl, TelemetrySink};
+use proptest::{proptest, ProptestConfig};
+
+const MS: u64 = 1_000_000;
+
+/// Sends `count` packets, one per `gap` ns, and logs every echo.
+struct Pinger {
+    dst: Addr,
+    flow: FlowId,
+    count: u32,
+    gap: u64,
+    sent: u32,
+    echoes: Vec<(Time, u32)>,
+}
+impl Agent for Pinger {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        ctx.set_timer(0, 0);
+    }
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let v = *pkt.payload_as::<u32>().unwrap();
+        self.echoes.push((ctx.now(), v));
+    }
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _token: u64) {
+        if self.sent < self.count {
+            ctx.send(self.dst, 300, self.flow, payload(self.sent));
+            self.sent += 1;
+            ctx.set_timer(self.gap, 0);
+        }
+    }
+}
+
+/// Echoes every packet back to its source on the same flow.
+struct Echoer {
+    flow: FlowId,
+}
+impl Agent for Echoer {
+    fn on_packet(&mut self, ctx: &mut Ctx<'_>, pkt: Packet) {
+        let v = *pkt.payload_as::<u32>().unwrap();
+        ctx.send(pkt.src, 300, self.flow, payload(v));
+    }
+}
+
+/// Topology knobs drawn by the proptest.
+#[derive(Clone, Debug)]
+struct Params {
+    seed: u64,
+    legs: usize,
+    pairs_per_leg: usize,
+    pings: u32,
+    delay_ms: u64,
+    loss_pct: u64,
+    jitter_us: u64,
+}
+
+/// Everything a run exposes: per-pinger echo logs, counter/flow-stat
+/// scalars, and the merged telemetry JSONL.
+type Observed = (Vec<Vec<(Time, u32)>>, Vec<u64>, String);
+
+/// Builds `legs` independent dumbbell legs — each leg a left shard and a
+/// right shard joined by one duplex boundary bottleneck — runs the echo
+/// workload with `threads` OS threads, and returns every observable
+/// surface as one comparable bundle.
+fn run(p: &Params, threads: usize) -> Observed {
+    let mut sim = ShardedSim::new(p.seed);
+    let mut legs = Vec::new();
+    for _ in 0..p.legs {
+        let left = sim.add_shard();
+        let right = sim.add_shard();
+        legs.push((left, right));
+    }
+    sim.set_threads(threads);
+
+    let mut telemetry = Vec::new();
+    for shard in 0..sim.num_shards() {
+        let (sink, bus) = TelemetrySink::new_bus(0);
+        sim.attach_telemetry(shard, sink);
+        telemetry.push(bus);
+    }
+
+    // jitter knob: 0 → none, 1 → 200 µs, 2 → 1.5 ms.
+    let jitter = [0, 200_000, 1_500_000][p.jitter_us as usize % 3];
+    let bottleneck = LinkSpec::new(20e6, p.delay_ms * MS, 50_000)
+        .with_random_loss(p.loss_pct as f64 / 100.0)
+        .with_jitter(jitter);
+    let access = LinkSpec::new(100e6, MS / 2, 256_000);
+
+    let mut pingers = Vec::new();
+    let mut flow = 0u32;
+    for &(left, right) in &legs {
+        let lr = sim.add_node(left);
+        let rr = sim.add_node(right);
+        sim.add_duplex_link(lr, rr, bottleneck.clone());
+        for pair in 0..p.pairs_per_leg {
+            let src = sim.add_node(left);
+            let dst = sim.add_node(right);
+            sim.add_duplex_link(src, lr, access.clone());
+            sim.add_duplex_link(dst, rr, access.clone());
+            let port = 1 + pair as u16;
+            let id = sim.add_agent(
+                src,
+                port,
+                Box::new(Pinger {
+                    dst: Addr::new(dst, port),
+                    flow: FlowId(flow),
+                    count: p.pings,
+                    gap: 2 * MS,
+                    sent: 0,
+                    echoes: Vec::new(),
+                }),
+            );
+            sim.add_agent(dst, port, Box::new(Echoer { flow: FlowId(flow + 1) }));
+            pingers.push(id);
+            flow += 2;
+        }
+    }
+
+    sim.run_until(500 * MS);
+
+    let logs = pingers
+        .iter()
+        .map(|&id| sim.agent::<Pinger>(id).unwrap().echoes.clone())
+        .collect();
+    let c = sim.counters();
+    let mut scalars = vec![
+        c.packets_sent,
+        c.packets_delivered,
+        c.packets_unroutable,
+        c.events_processed,
+        c.timers_fired,
+    ];
+    for f in 0..flow {
+        let fs = sim.flow_stats(FlowId(f));
+        scalars.extend([
+            fs.sent_packets,
+            fs.delivered_packets,
+            fs.dropped_packets,
+            fs.random_losses,
+        ]);
+    }
+    // Merge telemetry in shard-index order — the declaration-order merge
+    // discipline the runner uses for `-j`.
+    let mut jsonl = String::new();
+    for bus in &telemetry {
+        jsonl.push_str(&to_jsonl(&bus.lock().unwrap().records()));
+    }
+    (logs, scalars, jsonl)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn outputs_are_byte_identical_across_thread_counts(
+        seed in proptest::any::<u64>(),
+        legs in 1usize..3,
+        pairs_per_leg in 1usize..4,
+        pings in 5u32..40,
+        delay_ms in 1u64..20,
+        loss_pct in 0u64..10,
+        jitter_us in 0u64..3,
+    ) {
+        let p = Params { seed, legs, pairs_per_leg, pings, delay_ms, loss_pct, jitter_us };
+        let base = run(&p, 1);
+        for threads in [2, 4] {
+            let got = run(&p, threads);
+            assert_eq!(got.0, base.0, "echo logs differ at {threads} threads ({p:?})");
+            assert_eq!(got.1, base.1, "counters differ at {threads} threads ({p:?})");
+            assert_eq!(got.2, base.2, "telemetry differs at {threads} threads ({p:?})");
+        }
+        // Sanity: the workload actually crossed shards.
+        assert!(base.1[1] > 0, "nothing was delivered ({p:?})");
+    }
+}

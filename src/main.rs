@@ -23,13 +23,19 @@
 //!
 //! `bench` runs a fixed scenario sweep and writes `BENCH_netsim.json`
 //! (events/sec, wall time per scenario, peak RSS). Options: `--out PATH`,
-//! `--label STR`, `--check PATH` (fail when events/sec regresses more
-//! than `--max-regress FRAC`, default 0.20, against the committed file).
+//! `--label STR`, `--only NAME` (run a single scenario), `--check PATH`
+//! (fail when events/sec regresses more than `--max-regress FRAC`,
+//! default 0.20, against the committed file — and, on hosts with ≥ 4
+//! cores, when the `mega_flows` 4-shard rate is below 2× the 1-shard
+//! rate).
 //!
 //! `SIZE` scales the experiment workloads (1.0 = paper scale). Flags:
 //!
 //! * `-j N` / `--jobs N` — run scenarios on N worker threads (default:
 //!   one per core). Rendered output is byte-identical for any N.
+//! * `--shards N` — worker threads inside a sharded scenario
+//!   (`mega_flows`); results are byte-identical for any N (0 = one per
+//!   core, default 1).
 //! * `--verify-determinism` — run every scenario twice with the same
 //!   seed and abort if any metric differs bit-for-bit.
 //! * `--no-timing` — suppress the per-scenario wall-clock / events-per-
@@ -138,6 +144,10 @@ fn cmd_bench(args: &[String]) {
             "--max-regress" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(f) => opts.max_regress = f,
                 None => die("--max-regress requires a fraction (e.g. 0.2)"),
+            },
+            "--only" => match it.next() {
+                Some(n) => opts.only = Some(n.clone()),
+                None => die("--only requires a scenario name"),
             },
             other => match other.parse::<f64>() {
                 Ok(s) if s > 0.0 => opts.size = Size(s),
@@ -341,9 +351,10 @@ fn cmd_demo() {
     );
 }
 
-/// Strips the runner flags (`-j`/`--jobs`, `--verify-determinism`,
-/// `--no-timing`, `--telemetry DIR`) out of the argument list, applying
-/// them globally, and returns the remaining positional arguments.
+/// Strips the runner flags (`-j`/`--jobs`, `--shards`,
+/// `--verify-determinism`, `--no-timing`, `--telemetry DIR`) out of the
+/// argument list, applying them globally, and returns the remaining
+/// positional arguments.
 fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
     let mut rest = Vec::with_capacity(args.len());
     let mut timing = true;
@@ -371,6 +382,22 @@ fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
                 }
             }
             "--verify-determinism" => iq_experiments::set_verify_determinism(true),
+            "--shards" => {
+                let n = it.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("error: --shards requires a non-negative integer (0 = auto)");
+                    std::process::exit(2);
+                });
+                iq_experiments::set_shards(n);
+            }
+            _ if a.starts_with("--shards=") => {
+                match a.split_once('=').and_then(|(_, v)| v.parse().ok()) {
+                    Some(n) => iq_experiments::set_shards(n),
+                    None => {
+                        eprintln!("error: {a}: expected a non-negative integer");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--telemetry" => {
                 let dir = it.next().unwrap_or_else(|| {
                     eprintln!("error: --telemetry requires a directory argument");
@@ -410,11 +437,11 @@ fn main() {
         Some("mc") => cmd_mc(&args[1..]),
         _ => {
             eprintln!(
-                "usage: iqrudp [-j N] [--verify-determinism] [--no-timing] \
+                "usage: iqrudp [-j N] [--shards N] [--verify-determinism] [--no-timing] \
                  [--telemetry DIR] \
                  <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
                  bench [SIZE] [--out PATH] [--label STR] [--check PATH] \
-                 [--max-regress FRAC] | trace [FRAMES] [SEED] | demo | \
+                 [--max-regress FRAC] [--only NAME] | trace [FRAMES] [SEED] | demo | \
                  mc [--scenario NAME] [--cc lda|cubic|bbr|rrr] [--depth N] \
                  [--drops K] [--ticks K] \
                  [--seed-break reinflate|cond|deferral]>"
