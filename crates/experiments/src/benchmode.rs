@@ -77,9 +77,19 @@ pub struct BenchScenario {
     /// serial scenarios).
     pub shards: u32,
     /// Order-sensitive hash of the scenario's full determinism
-    /// fingerprint (metrics, jitter series, telemetry bytes). Two runs
-    /// of the same workload — at any `--shards` value — must agree.
+    /// fingerprint (metrics, jitter series, telemetry bytes, counter
+    /// fingerprint). Two runs of the same workload — at any `--shards`
+    /// value — must agree.
     pub fingerprint: u64,
+    /// The counter fingerprint alone: FNV-1a over the canonical
+    /// sim-plane metric exposition (see `iq_obs::Registry::sim_text`).
+    /// Byte-identical across `-j` and `--shards`, gated by the shard
+    /// curve check.
+    pub counter_fingerprint: u64,
+    /// Per-shard wall-clock phase breakdown (engine plane; one entry
+    /// for serial scenarios). Rendered into the non-gated `profile`
+    /// section of the JSON.
+    pub profile: Vec<iq_obs::PhaseSnapshot>,
 }
 
 /// One full sweep measurement.
@@ -221,6 +231,8 @@ fn to_bench_scenario(name: String, r: &crate::runner::ScenarioReport) -> BenchSc
         peak_rss_bytes: r.peak_rss_bytes,
         shards: r.shards,
         fingerprint: crate::runner::result_fingerprint(&r.result),
+        counter_fingerprint: r.result.obs.sim_fingerprint(),
+        profile: r.result.phase_profile.clone(),
     }
 }
 
@@ -310,6 +322,14 @@ pub(crate) fn current_rss_bytes() -> u64 {
     proc_status_bytes("VmRSS")
 }
 
+/// Whether this platform exposes process memory statistics
+/// (`/proc/self/status` on Linux). When it does not, the bench records
+/// `"mem_unavailable": true` and skips the RSS regression gate rather
+/// than silently comparing zeros.
+pub fn mem_stats_available() -> bool {
+    current_rss_bytes() > 0
+}
+
 fn render_run(run: &BenchRun, indent: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -328,18 +348,23 @@ fn render_run(run: &BenchRun, indent: &str) -> String {
         "{indent}  \"peak_rss_bytes\": {},\n",
         run.peak_rss_bytes
     ));
+    s.push_str(&format!(
+        "{indent}  \"mem_unavailable\": {},\n",
+        !mem_stats_available()
+    ));
     s.push_str(&format!("{indent}  \"scenarios\": [\n"));
     for (i, sc) in run.scenarios.iter().enumerate() {
         let comma = if i + 1 < run.scenarios.len() { "," } else { "" };
         s.push_str(&format!(
-            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}, \"shards\": {}, \"fingerprint\": {}}}{comma}\n",
+            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}, \"shards\": {}, \"fingerprint\": {}, \"counter_fingerprint\": {}}}{comma}\n",
             sc.name,
             sc.events,
             fmt_f64(sc.wall_s),
             fmt_f64(sc.events_per_sec),
             sc.peak_rss_bytes,
             sc.shards,
-            sc.fingerprint
+            sc.fingerprint,
+            sc.counter_fingerprint
         ));
     }
     s.push_str(&format!("{indent}  ]\n"));
@@ -359,12 +384,46 @@ fn fmt_f64(v: f64) -> String {
     }
 }
 
+/// Renders the wall-clock phase breakdown of the sweep: one entry per
+/// scenario, one object per shard. Engine-plane data — informational
+/// only, never gated by `--check` (the timings vary run to run).
+fn render_profile(run: &BenchRun, indent: &str) -> String {
+    use iq_obs::Phase;
+    let mut s = String::new();
+    s.push_str("{\n");
+    let with_profile: Vec<&BenchScenario> = run
+        .scenarios
+        .iter()
+        .filter(|sc| sc.profile.iter().any(|p| p.total_nanos() > 0))
+        .collect();
+    for (i, sc) in with_profile.iter().enumerate() {
+        let comma = if i + 1 < with_profile.len() { "," } else { "" };
+        s.push_str(&format!("{indent}  \"{}\": [", sc.name));
+        for (shard, p) in sc.profile.iter().enumerate() {
+            if shard > 0 {
+                s.push_str(", ");
+            }
+            s.push_str(&format!(
+                "{{\"shard\": {shard}, \"idle_s\": {}, \"ingress_s\": {}, \"execute_s\": {}, \"flush_s\": {}}}",
+                fmt_f64(p.seconds(Phase::Idle)),
+                fmt_f64(p.seconds(Phase::Ingress)),
+                fmt_f64(p.seconds(Phase::Execute)),
+                fmt_f64(p.seconds(Phase::Flush)),
+            ));
+        }
+        s.push_str(&format!("]{comma}\n"));
+    }
+    s.push_str(&format!("{indent}}}"));
+    s
+}
+
 /// Renders the full `BENCH_netsim.json` document.
 pub fn render_json(baseline: &str, current: &BenchRun) -> String {
     format!(
-        "{{\n  \"schema\": \"iq-bench-netsim/v1\",\n  \"baseline\": {},\n  \"current\": {}\n}}\n",
+        "{{\n  \"schema\": \"iq-bench-netsim/v2\",\n  \"baseline\": {},\n  \"current\": {},\n  \"profile\": {}\n}}\n",
         baseline,
-        render_run(current, "  ")
+        render_run(current, "  "),
+        render_profile(current, "  ")
     )
 }
 
@@ -428,11 +487,20 @@ pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
                     s.name, s.fingerprint, first.name, first.fingerprint,
                 ));
             }
+            if s.counter_fingerprint != first.counter_fingerprint {
+                return Err(format!(
+                    "counter fingerprint violation: `{}` sim-plane metrics hash {:#x} \
+                     != `{}` hash {:#x} — a sim-plane counter is thread-count-dependent",
+                    s.name, s.counter_fingerprint, first.name, first.counter_fingerprint,
+                ));
+            }
         }
         eprintln!(
-            "bench check: {} shard-curve entries share fingerprint {:#x} — ok",
+            "bench check: {} shard-curve entries share fingerprint {:#x} \
+             (counter fingerprint {:#x}) — ok",
             curve.len(),
             first.fingerprint,
+            first.counter_fingerprint,
         );
     }
 
@@ -476,6 +544,12 @@ pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
         }
         // Memory gate: peak RSS must not grow past the same tolerance.
         let reference_rss = extract_number(section, "peak_rss_bytes").unwrap_or(0.0);
+        if !mem_stats_available() {
+            eprintln!(
+                "bench check: RSS gate skipped (mem_unavailable — this platform does \
+                 not expose process memory statistics)"
+            );
+        }
         if reference_rss > 0.0 && run.peak_rss_bytes > 0 {
             let ratio = run.peak_rss_bytes as f64 / reference_rss;
             if ratio > 1.0 + opts.max_regress {
@@ -538,6 +612,8 @@ mod tests {
                 peak_rss_bytes: 512,
                 shards: 1,
                 fingerprint: 0xfeed,
+                counter_fingerprint: 0xbeef,
+                profile: vec![iq_obs::PhaseSnapshot::default()],
             }],
             total_events: 100,
             total_wall_s: 0.25,

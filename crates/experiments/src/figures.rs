@@ -173,6 +173,9 @@ mod tests {
                 events_processed: 0,
                 telemetry: String::new(),
                 shards_used: 1,
+                obs: iq_obs::Registry::new(),
+                phase_profile: Vec::new(),
+                telemetry_evicted: 0,
             }
         }
         let rows = vec![

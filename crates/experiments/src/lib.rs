@@ -20,9 +20,9 @@ pub mod tables;
 
 pub use benchmode::{bench_main, BenchOptions, BenchRun};
 pub use runner::{
-    jobs, run_parallel, run_specs, set_jobs, set_shards, set_telemetry_capture,
-    set_telemetry_dir, set_timing_report, set_verify_determinism, shards, Executor,
-    ScenarioReport, ScenarioSpec,
+    jobs, run_parallel, run_specs, set_jobs, set_metrics_dir, set_shards,
+    set_telemetry_capture, set_telemetry_dir, set_telemetry_ring, set_timing_report,
+    set_verify_determinism, shards, Executor, ScenarioReport, ScenarioSpec,
 };
 pub use scenario::{
     app_frame_sizes, run_scenario, CrossTraffic, PolicySpec, RunResult, Scenario, Scheme,

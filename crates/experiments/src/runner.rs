@@ -34,6 +34,14 @@ static TELEMETRY_DIR: Mutex<Option<String>> = Mutex::new(None);
 static TELEMETRY_SEQ: AtomicUsize = AtomicUsize::new(0);
 /// Worker threads for intra-scenario sharded simulation (`--shards N`).
 static SHARDS: AtomicUsize = AtomicUsize::new(1);
+/// Per-flow telemetry ring capacity override (0 = the bus default).
+static TELEMETRY_RING: AtomicUsize = AtomicUsize::new(0);
+/// Destination directory for per-scenario metric exposition dumps
+/// (`--metrics DIR`).
+static METRICS_DIR: Mutex<Option<String>> = Mutex::new(None);
+/// Process-wide dump counter for metric files, mirroring
+/// [`TELEMETRY_SEQ`].
+static METRICS_SEQ: AtomicUsize = AtomicUsize::new(0);
 
 /// Sets the worker count used by [`run_parallel`] (0 = auto: one worker
 /// per available core). Typically wired to a `--jobs N` CLI flag.
@@ -102,6 +110,31 @@ pub fn shards() -> usize {
         0 => std::thread::available_parallelism().map_or(1, |n| n.get()),
         n => n,
     }
+}
+
+/// Overrides the per-flow telemetry ring capacity (0 = the bus default,
+/// [`iq_telemetry::bus::DEFAULT_RING_CAPACITY`]). Small values force
+/// eviction, which the runner surfaces as a stderr warning and the
+/// `iq_telemetry_evicted_total` counter.
+pub fn set_telemetry_ring(n: usize) {
+    TELEMETRY_RING.store(n, Ordering::Relaxed);
+}
+
+/// The configured per-flow telemetry ring capacity (0 = default).
+pub fn telemetry_ring() -> usize {
+    TELEMETRY_RING.load(Ordering::Relaxed)
+}
+
+/// Routes metric exposition to disk: the executor writes one
+/// `NNN_<scenario>.prom` (Prometheus text, both planes) and one
+/// `NNN_<scenario>.jsonl` snapshot per scenario under `dir`. Typically
+/// wired to a `--metrics <dir>` CLI flag; `None` turns it off.
+pub fn set_metrics_dir(dir: Option<String>) {
+    *METRICS_DIR.lock().unwrap_or_else(|e| e.into_inner()) = dir;
+}
+
+fn metrics_dir() -> Option<String> {
+    METRICS_DIR.lock().unwrap_or_else(|e| e.into_inner()).clone()
 }
 
 fn telemetry_dir() -> Option<String> {
@@ -200,6 +233,11 @@ fn fingerprint(r: &RunResult) -> Vec<u64> {
     let mut h = iq_telemetry::Fnv64::new();
     h.write(r.telemetry.as_bytes());
     fp.push(h.finish());
+    // The counter fingerprint: FNV-1a over the canonical sim-plane
+    // exposition text, so per-shard simulator counters, transport
+    // counters, and the delivery-latency histogram are all held to the
+    // same byte-identical standard (engine-plane metrics excluded).
+    fp.push(r.obs.sim_fingerprint());
     fp
 }
 
@@ -300,6 +338,16 @@ impl Executor {
                         "  [{}] {:<44} {:>8.3}s  {:>12.0} events/s  [shards {}]",
                         i, report.name, report.wall_s, report.events_per_sec, report.shards
                     );
+                    // Per-shard wall-clock phase breakdown for the
+                    // sharded scenarios (engine plane — informational,
+                    // never part of any fingerprint).
+                    if report.shards > 1 {
+                        for (s, snap) in report.result.phase_profile.iter().enumerate() {
+                            if snap.total_nanos() > 0 {
+                                eprintln!("        shard {s}: {}", snap.brief());
+                            }
+                        }
+                    }
                 }
                 slots[i] = Some(report);
             }
@@ -308,8 +356,21 @@ impl Executor {
                 .enumerate()
                 .map(|(i, s)| s.unwrap_or_else(|| panic!("scenario {i} worker panicked")))
                 .collect();
+            for rep in &reports {
+                if rep.result.telemetry_evicted > 0 {
+                    eprintln!(
+                        "warning: scenario `{}` lost {} telemetry record(s) to ring \
+                         overflow — its JSONL capture is incomplete (raise the ring \
+                         capacity or reduce capture volume)",
+                        rep.name, rep.result.telemetry_evicted
+                    );
+                }
+            }
             if let Some(dir) = telemetry_dir() {
                 dump_telemetry(&dir, &reports);
+            }
+            if let Some(dir) = metrics_dir() {
+                dump_metrics(&dir, &reports);
             }
             reports
         })
@@ -329,20 +390,50 @@ fn dump_telemetry(dir: &str, reports: &[ScenarioReport]) {
             continue;
         }
         let n = TELEMETRY_SEQ.fetch_add(1, Ordering::Relaxed);
-        let safe: String = rep
-            .name
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
+        let safe = safe_file_stem(&rep.name);
         let path = std::path::Path::new(dir).join(format!("{n:03}_{safe}.jsonl"));
         if let Err(e) = std::fs::write(&path, &rep.result.telemetry) {
             eprintln!("telemetry: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+fn safe_file_stem(name: &str) -> String {
+    name.chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Writes one Prometheus text exposition (`.prom`, both planes) and one
+/// JSONL snapshot per scenario, in declaration order with a process-wide
+/// sequence prefix (same scheme as [`dump_telemetry`]).
+fn dump_metrics(dir: &str, reports: &[ScenarioReport]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("metrics: cannot create {dir}: {e}");
+        return;
+    }
+    for rep in reports {
+        if rep.result.obs.is_empty() {
+            continue;
+        }
+        let n = METRICS_SEQ.fetch_add(1, Ordering::Relaxed);
+        let safe = safe_file_stem(&rep.name);
+        let mut sorted = rep.result.obs.clone();
+        sorted.sort();
+        let base = std::path::Path::new(dir).join(format!("{n:03}_{safe}"));
+        let prom = iq_obs::expo::render_prom(&sorted, None);
+        if let Err(e) = std::fs::write(base.with_extension("prom"), prom) {
+            eprintln!("metrics: cannot write {}.prom: {e}", base.display());
+        }
+        let jsonl = iq_obs::expo::render_jsonl(&sorted, &rep.name);
+        if let Err(e) = std::fs::write(base.with_extension("jsonl"), jsonl) {
+            eprintln!("metrics: cannot write {}.jsonl: {e}", base.display());
         }
     }
 }
@@ -551,6 +642,61 @@ mod tests {
         let dumped = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
         assert_eq!(dumped, 2 * specs.len(), "one JSONL file per executed scenario");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn telemetry_evictions_are_counted_and_reported() {
+        let _g = capture_lock();
+        set_telemetry_capture(true);
+        set_telemetry_ring(4);
+        let r = run_scenario(&small_scenario(2));
+        set_telemetry_ring(0);
+        set_telemetry_capture(false);
+        assert!(
+            r.telemetry_evicted > 0,
+            "a 4-record ring must overflow on a full scenario"
+        );
+        assert_eq!(
+            r.obs.counter_total("iq_telemetry_evicted_total"),
+            r.telemetry_evicted,
+            "registry counter must match the bus's eviction count"
+        );
+        // With the default ring nothing is evicted.
+        set_telemetry_capture(true);
+        let r = run_scenario(&small_scenario(2));
+        set_telemetry_capture(false);
+        assert_eq!(r.telemetry_evicted, 0);
+    }
+
+    #[test]
+    fn mega_sim_metrics_identical_across_jobs_and_shards() {
+        let _g = capture_lock();
+        let mut sc = crate::scenario::Scenario::mega(2, 12, 2, 1400);
+        sc.deadline_s = 60.0;
+        let specs = [
+            ScenarioSpec::new("mega_a", sc.clone()),
+            ScenarioSpec::new("mega_b", sc),
+        ];
+        let mut texts: Vec<String> = Vec::new();
+        for jobs in [1usize, 4] {
+            for shard_threads in [1usize, 2, 4] {
+                set_shards(shard_threads);
+                let reports = Executor::new(jobs).run(&specs);
+                texts.push(reports[0].result.obs.sim_text());
+            }
+        }
+        set_shards(1);
+        assert!(
+            texts[0].contains("iq_sim_events_total"),
+            "sim plane must carry simulator counters:\n{}",
+            texts[0]
+        );
+        for (i, t) in texts.iter().enumerate().skip(1) {
+            assert_eq!(
+                t, &texts[0],
+                "sim-plane exposition diverged at jobs/shards combination {i}"
+            );
+        }
     }
 
     #[test]

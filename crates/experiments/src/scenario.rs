@@ -12,6 +12,7 @@ use iq_netsim::{
     build_dumbbell, time, Addr, AgentId, Dumbbell, DumbbellSpec, FlowId, LinkSpec, ShardedSim,
     Simulator,
 };
+use iq_obs::{Phase, Plane, Registry};
 use iq_rudp::{BbrParams, CcAlgorithm, CubicParams, RrrParams, RudpConfig};
 use iq_tcp::{TcpBulkSenderAgent, TcpConfig, TcpSenderConn, TcpSinkAgent};
 use iq_telemetry::{to_jsonl, TelemetrySink};
@@ -318,6 +319,21 @@ pub struct RunResult {
     /// serial scenarios). Informational: never part of the determinism
     /// fingerprint, because results are identical for any value.
     pub shards_used: u32,
+    /// The run's metric registry. Sim-plane entries (simulator counters,
+    /// delivery-latency histogram, transport counters, telemetry
+    /// evictions) are deterministic sim-time facts whose canonical
+    /// rendering is folded into the determinism fingerprint; engine-
+    /// plane entries (scheduler placement, payload-pool hit rates,
+    /// shard-loop stats, phase times) legitimately vary with thread
+    /// scheduling and are never fingerprinted.
+    pub obs: Registry,
+    /// Wall-clock phase breakdown per shard (engine plane; a single
+    /// entry for the serial scenarios, index = shard otherwise).
+    pub phase_profile: Vec<iq_obs::PhaseSnapshot>,
+    /// Telemetry records lost to ring-buffer overflow during the run
+    /// (0 when capture is off). Nonzero means the captured JSONL is
+    /// incomplete; the runner warns on stderr.
+    pub telemetry_evicted: u64,
 }
 
 /// Attaches the configured cross traffic to a dumbbell. Pair 1 carries
@@ -409,8 +425,9 @@ fn rudp_config(sc: &Scenario) -> RudpConfig {
 }
 
 fn run_rudp(sc: &Scenario) -> RunResult {
+    let pool_before = iq_netsim::pool_stats();
     let (tsink, bus) = if crate::runner::telemetry_enabled() {
-        let (s, b) = TelemetrySink::new_bus(0);
+        let (s, b) = TelemetrySink::new_bus(crate::runner::telemetry_ring());
         (s, Some(b))
     } else {
         (TelemetrySink::disabled(), None)
@@ -442,15 +459,29 @@ fn run_rudp(sc: &Scenario) -> RunResult {
             sink_cfg.builder(1, FlowId(1)).telemetry(tsink).build_receiver(),
         )),
     );
+    sim.profiler().enter(Phase::Execute);
     run_until_quiet(&mut sim, sc.deadline_s, rx);
+    sim.profiler().finish();
 
-    let telemetry = bus.map_or_else(String::new, |b| {
-        let bus = b.lock().unwrap_or_else(|e| e.into_inner());
-        to_jsonl(&bus.records())
-    });
+    let (telemetry, telemetry_evicted) = bus.map_or_else(
+        || (String::new(), 0),
+        |b| {
+            let bus = b.lock().unwrap_or_else(|e| e.into_inner());
+            (to_jsonl(&bus.records()), bus.total_evicted())
+        },
+    );
     let events_processed = sim.counters().events_processed;
     let src = sim.agent::<AdaptiveSourceAgent>(tx).expect("source");
     let sink = sim.agent::<EchoSinkAgent>(rx).expect("sink");
+    let mut obs = Registry::new();
+    sim.collect_obs(&mut obs, "0");
+    collect_run_obs(
+        &mut obs,
+        Some(&src.conn().stats()),
+        Some(&sink.conn().stats()),
+        iq_netsim::pool_stats().since(pool_before),
+        telemetry_evicted,
+    );
     let m = &sink.metrics;
     RunResult {
         label: sc.scheme.label(),
@@ -471,6 +502,9 @@ fn run_rudp(sc: &Scenario) -> RunResult {
         events_processed,
         telemetry,
         shards_used: 1,
+        phase_profile: vec![sim.phase_snapshot()],
+        obs,
+        telemetry_evicted,
     }
 }
 
@@ -485,8 +519,9 @@ fn run_rudp(sc: &Scenario) -> RunResult {
 /// each class shares one `RudpConfig` allocation across all its flows
 /// (see [`iq_rudp::ConnBuilder::for_conn`]).
 fn run_incast(sc: &Scenario) -> RunResult {
+    let pool_before = iq_netsim::pool_stats();
     let (tsink, bus) = if crate::runner::telemetry_enabled() {
-        let (s, b) = TelemetrySink::new_bus(0);
+        let (s, b) = TelemetrySink::new_bus(crate::runner::telemetry_ring());
         (s, Some(b))
     } else {
         (TelemetrySink::disabled(), None)
@@ -568,6 +603,7 @@ fn run_incast(sc: &Scenario) -> RunResult {
     // Run in one-second slices until every flow finished or the
     // deadline elapses.
     let deadline = time::secs(sc.deadline_s);
+    sim.profiler().enter(Phase::Execute);
     while sim.now() < deadline {
         sim.run_for(time::secs(1.0));
         let all_done = rxs
@@ -577,11 +613,15 @@ fn run_incast(sc: &Scenario) -> RunResult {
             break;
         }
     }
+    sim.profiler().finish();
 
-    let telemetry = bus.map_or_else(String::new, |b| {
-        let bus = b.lock().unwrap_or_else(|e| e.into_inner());
-        to_jsonl(&bus.records())
-    });
+    let (telemetry, telemetry_evicted) = bus.map_or_else(
+        || (String::new(), 0),
+        |b| {
+            let bus = b.lock().unwrap_or_else(|e| e.into_inner());
+            (to_jsonl(&bus.records()), bus.total_evicted())
+        },
+    );
     let events_processed = sim.counters().events_processed;
 
     // Aggregate across the fleet: sums for volume metrics, the max for
@@ -618,13 +658,24 @@ fn run_incast(sc: &Scenario) -> RunResult {
     let mut throughput = 0.0f64;
     let mut duration = 0.0f64;
     let mut finished = true;
+    let mut rstats = iq_rudp::ReceiverStats::default();
     for &rx in &rxs {
         let s = sim.agent::<EchoSinkAgent>(rx).expect("sink");
         delivered += s.metrics.messages();
         throughput += s.metrics.throughput_kbps();
         duration = duration.max(s.metrics.duration_s());
         finished &= s.is_finished();
+        sum_receiver_stats(&mut rstats, &s.conn().stats());
     }
+    let mut obs = Registry::new();
+    sim.collect_obs(&mut obs, "0");
+    collect_run_obs(
+        &mut obs,
+        Some(&stats),
+        Some(&rstats),
+        iq_netsim::pool_stats().since(pool_before),
+        telemetry_evicted,
+    );
     let first = sim.agent::<EchoSinkAgent>(rxs[0]).expect("sink 0");
     RunResult {
         label: "many-flow incast",
@@ -649,6 +700,9 @@ fn run_incast(sc: &Scenario) -> RunResult {
         events_processed,
         telemetry,
         shards_used: 1,
+        phase_profile: vec![sim.phase_snapshot()],
+        obs,
+        telemetry_evicted,
     }
 }
 
@@ -668,6 +722,7 @@ fn run_incast(sc: &Scenario) -> RunResult {
 /// OS threads over the fixed 2×`mega_legs`-shard partition; every
 /// output is byte-identical for any thread count.
 fn run_mega(sc: &Scenario) -> RunResult {
+    let pool_before = iq_netsim::pool_stats();
     let threads = crate::runner::shards();
     let mut sim = ShardedSim::new(sc.seed);
     let legs: Vec<(usize, usize)> = (0..sc.mega_legs)
@@ -678,7 +733,7 @@ fn run_mega(sc: &Scenario) -> RunResult {
     let mut buses = Vec::new();
     if crate::runner::telemetry_enabled() {
         for shard in 0..sim.num_shards() {
-            let (sink, bus) = TelemetrySink::new_bus(0);
+            let (sink, bus) = TelemetrySink::new_bus(crate::runner::telemetry_ring());
             sim.attach_telemetry(shard, sink);
             buses.push(bus);
         }
@@ -802,9 +857,11 @@ fn run_mega(sc: &Scenario) -> RunResult {
     // declaration-order discipline the runner uses for `-j`, so the
     // JSONL is independent of the thread count.
     let mut telemetry = String::new();
+    let mut telemetry_evicted = 0u64;
     for bus in &buses {
         let bus = bus.lock().unwrap_or_else(|e| e.into_inner());
         telemetry.push_str(&to_jsonl(&bus.records()));
+        telemetry_evicted += bus.total_evicted();
     }
     let events_processed = sim.counters().events_processed;
 
@@ -842,13 +899,24 @@ fn run_mega(sc: &Scenario) -> RunResult {
     let mut throughput = 0.0f64;
     let mut duration = 0.0f64;
     let mut finished = true;
+    let mut rstats = iq_rudp::ReceiverStats::default();
     for &rx in &rxs {
         let s = sim.agent::<EchoSinkAgent>(rx).expect("sink");
         delivered += s.metrics.messages();
         throughput += s.metrics.throughput_kbps();
         duration = duration.max(s.metrics.duration_s());
         finished &= s.is_finished();
+        sum_receiver_stats(&mut rstats, &s.conn().stats());
     }
+    let mut obs = Registry::new();
+    sim.collect_obs(&mut obs);
+    collect_run_obs(
+        &mut obs,
+        Some(&stats),
+        Some(&rstats),
+        iq_netsim::pool_stats().since(pool_before),
+        telemetry_evicted,
+    );
     let first = sim.agent::<EchoSinkAgent>(rxs[0]).expect("sink 0");
     RunResult {
         label: "mega flows",
@@ -873,7 +941,77 @@ fn run_mega(sc: &Scenario) -> RunResult {
         events_processed,
         telemetry,
         shards_used: threads as u32,
+        phase_profile: sim.phase_snapshots(),
+        obs,
+        telemetry_evicted,
     }
+}
+
+fn sum_receiver_stats(acc: &mut iq_rudp::ReceiverStats, s: &iq_rudp::ReceiverStats) {
+    acc.segments_received += s.segments_received;
+    acc.duplicates += s.duplicates;
+    acc.segments_skipped += s.segments_skipped;
+    acc.msgs_delivered += s.msgs_delivered;
+    acc.msgs_dropped_partial += s.msgs_dropped_partial;
+    acc.sack_truncations += s.sack_truncations;
+}
+
+/// Reports run-level metrics into `reg`: aggregated RUDP endpoint
+/// counters and telemetry evictions on the sim plane (deterministic,
+/// fingerprinted), payload-pool deltas on the engine plane (the pool is
+/// thread-local, so the delta depends on which worker executed what).
+/// Sorts the registry into canonical order.
+fn collect_run_obs(
+    reg: &mut Registry,
+    tx: Option<&iq_rudp::SenderStats>,
+    rx: Option<&iq_rudp::ReceiverStats>,
+    pool: iq_netsim::PoolStats,
+    telemetry_evicted: u64,
+) {
+    if let Some(s) = tx {
+        reg.counter(Plane::Sim, "iq_rudp_msgs_submitted_total", &[], s.msgs_submitted);
+        reg.counter(Plane::Sim, "iq_rudp_msgs_discarded_total", &[], s.msgs_discarded);
+        reg.counter(Plane::Sim, "iq_rudp_segments_sent_total", &[], s.segments_sent);
+        reg.counter(Plane::Sim, "iq_rudp_retransmits_total", &[], s.retransmits);
+        reg.counter(
+            Plane::Sim,
+            "iq_rudp_segments_abandoned_total",
+            &[],
+            s.segments_abandoned,
+        );
+        reg.counter(Plane::Sim, "iq_rudp_segments_acked_total", &[], s.segments_acked);
+        reg.counter(Plane::Sim, "iq_rudp_rto_total", &[], s.timeouts);
+        reg.counter(Plane::Sim, "iq_rudp_bytes_acked_total", &[], s.bytes_acked);
+    }
+    if let Some(s) = rx {
+        reg.counter(
+            Plane::Sim,
+            "iq_rudp_segments_received_total",
+            &[],
+            s.segments_received,
+        );
+        reg.counter(Plane::Sim, "iq_rudp_duplicates_total", &[], s.duplicates);
+        reg.counter(Plane::Sim, "iq_rudp_segments_skipped_total", &[], s.segments_skipped);
+        reg.counter(Plane::Sim, "iq_rudp_msgs_delivered_total", &[], s.msgs_delivered);
+        reg.counter(
+            Plane::Sim,
+            "iq_rudp_msgs_dropped_partial_total",
+            &[],
+            s.msgs_dropped_partial,
+        );
+        reg.counter(
+            Plane::Sim,
+            "iq_rudp_sack_truncations_total",
+            &[],
+            s.sack_truncations,
+        );
+    }
+    reg.counter(Plane::Sim, "iq_telemetry_evicted_total", &[], telemetry_evicted);
+    reg.counter(Plane::Engine, "iq_pool_hits_total", &[], pool.hits);
+    reg.counter(Plane::Engine, "iq_pool_misses_total", &[], pool.misses);
+    reg.counter(Plane::Engine, "iq_pool_returns_total", &[], pool.returns);
+    reg.counter(Plane::Engine, "iq_pool_drops_total", &[], pool.drops);
+    reg.sort();
 }
 
 fn sum_sender_stats(acc: &mut iq_rudp::SenderStats, s: &iq_rudp::SenderStats) {
@@ -888,6 +1026,7 @@ fn sum_sender_stats(acc: &mut iq_rudp::SenderStats, s: &iq_rudp::SenderStats) {
 }
 
 fn run_tcp(sc: &Scenario) -> RunResult {
+    let pool_before = iq_netsim::pool_stats();
     let mut sim = Simulator::new(sc.seed);
     let mut dspec = sc.dumbbell.clone();
     dspec.red_bottleneck = sc.red_bottleneck;
@@ -917,9 +1056,20 @@ fn run_tcp(sc: &Scenario) -> RunResult {
         1,
         Box::new(TcpSinkAgent::new(1, cfg, FlowId(1))),
     );
+    sim.profiler().enter(Phase::Execute);
     run_until_quiet_tcp(&mut sim, sc.deadline_s, rx);
+    sim.profiler().finish();
 
     let events_processed = sim.counters().events_processed;
+    let mut obs = Registry::new();
+    sim.collect_obs(&mut obs, "0");
+    collect_run_obs(
+        &mut obs,
+        None,
+        None,
+        iq_netsim::pool_stats().since(pool_before),
+        0,
+    );
     let sink = sim.agent::<TcpSinkAgent>(rx).expect("sink");
     let m = &sink.metrics;
     RunResult {
@@ -941,6 +1091,9 @@ fn run_tcp(sc: &Scenario) -> RunResult {
         events_processed,
         telemetry: String::new(),
         shards_used: 1,
+        phase_profile: vec![sim.phase_snapshot()],
+        obs,
+        telemetry_evicted: 0,
     }
 }
 
@@ -1119,6 +1272,30 @@ mod tests {
         }
         assert_eq!(runs[1].shards_used, 2);
         assert_eq!(runs[2].shards_used, 4);
+    }
+
+    #[test]
+    fn runs_report_observability_registries() {
+        let r = run_scenario(&small_scenario(Scheme::RudpPlain));
+        assert!(!r.obs.is_empty());
+        assert_eq!(r.obs.counter_total("iq_sim_events_total"), r.events_processed);
+        assert!(r.obs.counter_total("iq_rudp_segments_sent_total") > 0);
+        assert!(r.obs.counter_total("iq_rudp_msgs_delivered_total") > 0);
+        let mut sorted = r.obs.clone();
+        sorted.sort();
+        let text = iq_obs::expo::render_prom(&sorted, None);
+        let samples = iq_obs::expo::validate_prom(&text).expect("exposition parses");
+        assert!(samples > 20, "expected a rich exposition, got {samples} samples");
+        assert!(text.contains("iq_sim_delivery_latency_ns{shard=\"0\",quantile=\"0.99\"}"));
+        // The serial wrapper charges the whole run to the execute phase.
+        assert_eq!(r.phase_profile.len(), 1);
+        assert!(r.phase_profile[0].total_nanos() > 0);
+        assert!(r.phase_profile[0].percent(Phase::Execute) > 99.0);
+
+        // TCP runs carry simulator metrics but no transport counters.
+        let t = run_scenario(&small_scenario(Scheme::Tcp));
+        assert!(t.obs.counter_total("iq_sim_events_total") > 0);
+        assert_eq!(t.obs.counter_total("iq_rudp_segments_sent_total"), 0);
     }
 
     #[test]

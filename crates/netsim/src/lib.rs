@@ -65,10 +65,10 @@ pub mod topology;
 
 pub use agent::{Agent, Ctx, TimerId};
 pub use link::{LinkSpec, LinkStats, QueueDiscipline, RedParams};
-pub use packet::{payload, Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload};
+pub use packet::{payload, pool_stats, Addr, AgentId, FlowId, LinkId, NodeId, Packet, Payload, PoolStats};
 pub use routing::RoutingTable;
-pub use sched::{EventQueue, EventSource};
-pub use shard::{ShardAgentId, ShardEventSource, ShardedSim};
+pub use sched::{EventQueue, EventSource, SchedStats};
+pub use shard::{ShardAgentId, ShardEventSource, ShardStats, ShardedSim};
 pub use sim::{SimCounters, Simulator};
 pub use slab::{PacketKey, TimerKey};
 pub use time::{Time, TimeDelta};

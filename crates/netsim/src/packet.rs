@@ -90,15 +90,78 @@ std::thread_local! {
     #[allow(clippy::vec_box)]
     static PAYLOAD_POOL: std::cell::RefCell<Vec<Box<[u64; POOL_WORDS]>>> =
         const { std::cell::RefCell::new(Vec::new()) };
+
+    /// Engine-plane pool counters for the current thread. The pool is
+    /// shared by every simulation a worker thread runs, so these are
+    /// per-thread lifetime totals; callers interested in one scenario
+    /// take a delta around the run (`pool_stats` before and after).
+    static POOL_STATS: std::cell::Cell<PoolStats> = const { std::cell::Cell::new(PoolStats::zero()) };
+}
+
+/// Hit/miss/recycle counters for the current thread's payload pool.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// `pool_get` served from the free list.
+    pub hits: u64,
+    /// `pool_get` fell through to the allocator.
+    pub misses: u64,
+    /// Buffers returned to the free list on drop.
+    pub returns: u64,
+    /// Buffers dropped because the free list was at capacity.
+    pub drops: u64,
+}
+
+impl PoolStats {
+    const fn zero() -> Self {
+        PoolStats {
+            hits: 0,
+            misses: 0,
+            returns: 0,
+            drops: 0,
+        }
+    }
+
+    /// Counters accumulated since `earlier` (for per-scenario deltas).
+    pub fn since(self, earlier: PoolStats) -> PoolStats {
+        PoolStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            returns: self.returns - earlier.returns,
+            drops: self.drops - earlier.drops,
+        }
+    }
+}
+
+/// This thread's payload-pool counters so far.
+pub fn pool_stats() -> PoolStats {
+    POOL_STATS.with(|s| s.get())
+}
+
+#[inline]
+fn pool_count(f: impl FnOnce(&mut PoolStats)) {
+    if iq_obs::ENABLED {
+        POOL_STATS.with(|s| {
+            let mut v = s.get();
+            f(&mut v);
+            s.set(v);
+        });
+    }
 }
 
 /// A pooled buffer: fresh from the free list, or newly allocated
 /// (zeroing is unnecessary — the caller overwrites the value bytes and
 /// only those are ever read back).
 fn pool_get() -> Box<[u64; POOL_WORDS]> {
-    PAYLOAD_POOL
-        .with(|p| p.borrow_mut().pop())
-        .unwrap_or_else(|| Box::new([0u64; POOL_WORDS]))
+    match PAYLOAD_POOL.with(|p| p.borrow_mut().pop()) {
+        Some(buf) => {
+            pool_count(|s| s.hits += 1);
+            buf
+        }
+        None => {
+            pool_count(|s| s.misses += 1);
+            Box::new([0u64; POOL_WORDS])
+        }
+    }
 }
 
 /// Returns a buffer to the thread's free list (or drops it when full).
@@ -106,7 +169,10 @@ fn pool_put(buf: Box<[u64; POOL_WORDS]>) {
     PAYLOAD_POOL.with(|p| {
         let mut p = p.borrow_mut();
         if p.len() < POOL_MAX {
+            pool_count(|s| s.returns += 1);
             p.push(buf);
+        } else {
+            pool_count(|s| s.drops += 1);
         }
     });
 }

@@ -37,8 +37,50 @@
 
 use std::collections::BinaryHeap;
 
+use iq_obs::counter_inc;
+
 use crate::event::Event;
 use crate::time::Time;
+
+/// Engine-plane scheduler counters: where pushes landed (near vector,
+/// wheel level, far heap) and how often buckets drained or cascaded.
+///
+/// These count *placements*, so an event cascading from level 2 through
+/// level 1 into `near` is counted once per placement. Under the sharded
+/// engine the placement of a push depends on how far `near_end` has
+/// advanced, which depends on the lookahead-window interleaving — so
+/// these are engine-plane metrics (never fingerprinted), unlike the
+/// sim-plane `SimCounters`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Pushes appended straight onto the `near` vector (the fast path).
+    pub near_hits: u64,
+    /// Pushes that binary-inserted mid-`near` (rare same-window earlier
+    /// arrivals, e.g. cross-shard injections).
+    pub near_inserts: u64,
+    /// Pushes landing in each wheel level's buckets.
+    pub wheel_pushes: [u64; LEVELS],
+    /// Pushes spilling past the wheel horizon into the far heap.
+    pub far_spills: u64,
+    /// Level-0 buckets drained whole into `near`.
+    pub bucket_drains: u64,
+    /// Drains taken via the coarse-floor fast path (no multi-level scan).
+    pub fast_drains: u64,
+    /// Higher-level buckets cascaded down into finer structures.
+    pub cascades: u64,
+    /// Events migrated out of the far heap as the horizon advanced.
+    pub far_adoptions: u64,
+}
+
+impl SchedStats {
+    /// Total pushes across all placement classes.
+    pub fn pushes(&self) -> u64 {
+        self.near_hits
+            + self.near_inserts
+            + self.wheel_pushes.iter().sum::<u64>()
+            + self.far_spills
+    }
+}
 
 /// log2 of the number of buckets per wheel level.
 const SLOT_BITS: u32 = 8;
@@ -200,6 +242,7 @@ pub struct EventQueue {
     /// can drain without scanning the coarser levels — the refill fast
     /// path. Conservative: pushes lower it, only a full scan raises it.
     coarse_floor: Time,
+    stats: SchedStats,
 }
 
 impl Default for EventQueue {
@@ -218,7 +261,24 @@ impl EventQueue {
             far: BinaryHeap::new(),
             len: 0,
             coarse_floor: 0,
+            stats: SchedStats::default(),
         }
+    }
+
+    /// Engine-plane placement/drain counters accumulated so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Current structure occupancy: events resident in each wheel
+    /// level, the far heap, and the near vector (gauges, sampled at
+    /// collection time).
+    pub fn occupancy(&self) -> ([usize; LEVELS], usize, usize) {
+        let mut levels = [0usize; LEVELS];
+        for (i, l) in self.levels.iter().enumerate() {
+            levels[i] = l.events;
+        }
+        (levels, self.far.len(), self.near.len())
     }
 
     /// Number of pending events.
@@ -247,10 +307,14 @@ impl EventQueue {
             // here, since `seq` grows monotonically).
             match self.near.last() {
                 Some(last) if ev.cmp(last) != std::cmp::Ordering::Greater => {
+                    counter_inc!(self.stats.near_inserts);
                     let idx = self.near.binary_search(&ev).unwrap_err();
                     self.near.insert(idx, ev);
                 }
-                _ => self.near.push(ev),
+                _ => {
+                    counter_inc!(self.stats.near_hits);
+                    self.near.push(ev);
+                }
             }
             return;
         }
@@ -261,10 +325,12 @@ impl EventQueue {
                     let start = ((b as u128) << shift(level)).min(u64::MAX as u128) as u64;
                     self.coarse_floor = self.coarse_floor.min(start);
                 }
+                counter_inc!(self.stats.wheel_pushes[level]);
                 self.levels[level].push(b, ev);
                 return;
             }
         }
+        counter_inc!(self.stats.far_spills);
         self.coarse_floor = self.coarse_floor.min(ev.at);
         self.far.push(ev);
     }
@@ -332,6 +398,7 @@ impl EventQueue {
         if !self.levels[level].is_occupied(i) {
             return;
         }
+        counter_inc!(self.stats.cascades);
         let mut events = std::mem::take(&mut self.levels[level].buckets[i]);
         self.levels[level].clear_bit(i);
         self.levels[level].events -= events.len();
@@ -352,6 +419,7 @@ impl EventQueue {
                 break;
             }
             let ev = self.far.pop().expect("peeked");
+            counter_inc!(self.stats.far_adoptions);
             self.len -= 1; // push re-counts
             self.push(ev);
         }
@@ -371,6 +439,7 @@ impl EventQueue {
     /// cursor past it. Only sound when nothing above level 0 can hold an
     /// event before the bucket's end (the callers' invariant).
     fn drain_level0(&mut self, b: u64) {
+        counter_inc!(self.stats.bucket_drains);
         let i = (b as usize) & (SLOTS - 1);
         let mut events = std::mem::take(&mut self.levels[0].buckets[i]);
         self.levels[0].clear_bit(i);
@@ -392,6 +461,7 @@ impl EventQueue {
             // floor drains without touching the coarser levels at all.
             if let Some(b) = self.levels[0].next_occupied(self.cursor(0)) {
                 if bucket_end(b, 0) <= self.coarse_floor {
+                    counter_inc!(self.stats.fast_drains);
                     self.drain_level0(b);
                     continue;
                 }

@@ -47,6 +47,8 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use iq_obs::{counter_add, counter_inc, Phase};
+
 use crate::agent::Agent;
 use crate::event::Event;
 use crate::link::{LinkSpec, LinkStats};
@@ -74,6 +76,22 @@ pub fn boundary_seq(link: LinkId, counter: u64) -> u64 {
     debug_assert!(u64::from(link.0) < 1 << (63 - BOUNDARY_COUNTER_BITS));
     debug_assert!(counter < 1 << BOUNDARY_COUNTER_BITS);
     BOUNDARY_SEQ_BASE | (u64::from(link.0) << BOUNDARY_COUNTER_BITS) | counter
+}
+
+/// Engine-plane counters for one shard's worker-loop behavior: how many
+/// lookahead windows it ran, how often it was lookahead-limited
+/// (stalled waiting on a neighbor's clock), and how many cross-shard
+/// messages it drained. Thread-schedule dependent by nature — two runs
+/// with different `threads` values produce different window patterns —
+/// so these never enter the counter fingerprint.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Lookahead windows executed (`run_window` calls that made progress).
+    pub windows: u64,
+    /// Iterations where the ingress lookahead bound forbade progress.
+    pub stalls: u64,
+    /// Cross-shard arrivals drained from ingress mailboxes.
+    pub ingress_msgs: u64,
 }
 
 /// A packet in flight between shards: the far-end arrival of a boundary
@@ -123,6 +141,17 @@ impl ShardEventSource {
     /// The current exclusive horizon.
     pub fn horizon(&self) -> Time {
         self.horizon
+    }
+
+    /// Engine-plane placement/drain counters of the wrapped queue.
+    pub fn stats(&self) -> crate::sched::SchedStats {
+        self.queue.stats()
+    }
+
+    /// Occupancy of the wrapped queue's structures (wheel levels, far
+    /// heap, near vector).
+    pub fn occupancy(&self) -> ([usize; crate::sched::LEVELS], usize, usize) {
+        self.queue.occupancy()
     }
 
     /// Deadline actually usable given `deadline` and the horizon; `None`
@@ -363,8 +392,25 @@ impl ShardedSim {
             total.packets_unroutable += c.packets_unroutable;
             total.events_processed += c.events_processed;
             total.timers_fired += c.timers_fired;
+            total.timers_cancelled += c.timers_cancelled;
         }
         total
+    }
+
+    /// Reports every shard's metrics into `reg` in shard-index order
+    /// (labels `shard="0"`, `shard="1"`, …). The resulting sim-plane
+    /// text is byte-identical for any `threads` value because the shard
+    /// partition — not the thread mapping — determines each shard's
+    /// executed event set.
+    pub fn collect_obs(&self, reg: &mut iq_obs::Registry) {
+        for (i, s) in self.shards.iter().enumerate() {
+            s.collect_obs(reg, &i.to_string());
+        }
+    }
+
+    /// Per-shard wall-clock phase breakdowns, in shard-index order.
+    pub fn phase_snapshots(&self) -> Vec<iq_obs::PhaseSnapshot> {
+        self.shards.iter().map(|s| s.phase_snapshot()).collect()
     }
 
     /// Ground-truth counters for one flow, summed over shards (a flow's
@@ -422,6 +468,12 @@ impl ShardedSim {
                 .into_iter()
                 .map(|mut group| {
                     scope.spawn(move || {
+                        // Start every shard's wall clock in the idle
+                        // phase so lookahead-limited time before the
+                        // first window is attributed, not lost.
+                        for (_, sim) in &mut group {
+                            sim.profiler().enter(Phase::Idle);
+                        }
                         loop {
                             let mut all_done = true;
                             let mut progressed = false;
@@ -441,28 +493,41 @@ impl ShardedSim {
                                         limit.min(src.saturating_add(boundaries[b].lookahead));
                                 }
                                 if limit <= clock {
+                                    // Lookahead-limited: a neighbor's
+                                    // clock is too far behind. Time keeps
+                                    // accruing to the idle phase.
+                                    counter_inc!(sim.shard_stats_mut().stalls);
                                     continue;
                                 }
                                 // Drain mailboxes first: everything below
                                 // `limit` is guaranteed to be present by
                                 // the neighbors' flush-before-publish.
+                                sim.profiler().enter(Phase::Ingress);
                                 for &b in &ingress[i] {
                                     let msgs =
                                         std::mem::take(&mut *channels[b].lock().unwrap());
+                                    counter_add!(
+                                        sim.shard_stats_mut().ingress_msgs,
+                                        msgs.len() as u64
+                                    );
                                     for m in msgs {
                                         sim.inject_arrival(m);
                                     }
                                 }
+                                sim.profiler().enter(Phase::Execute);
                                 sim.run_window(limit);
                                 // Flush boundary output *before*
                                 // publishing the clock, so a neighbor
                                 // that observes the new clock also
                                 // observes every message it implies.
+                                sim.profiler().enter(Phase::Flush);
                                 sim.flush_outbox(|m| {
                                     let b = boundary_of_link[m.link.0 as usize] as usize;
                                     channels[b].lock().unwrap().push(m);
                                 });
                                 clocks[i].store(limit, Ordering::Release);
+                                sim.profiler().enter(Phase::Idle);
+                                counter_inc!(sim.shard_stats_mut().windows);
                                 progressed = true;
                             }
                             if all_done {
@@ -471,6 +536,12 @@ impl ShardedSim {
                             if !progressed {
                                 std::thread::yield_now();
                             }
+                        }
+                        // Close each profiler so the idle tail between
+                        // a shard finishing and the slowest shard
+                        // finishing is attributed.
+                        for (_, sim) in &mut group {
+                            sim.profiler().finish();
                         }
                     })
                 })

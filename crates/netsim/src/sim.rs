@@ -32,6 +32,11 @@ use crate::time::{Time, TimeDelta};
 use crate::trace::{PacketEvent, PacketEventKind, TraceCollector};
 
 /// Simulation-wide counters, mostly for tests and sanity checks.
+///
+/// These are *sim-plane* counters: they are functions of the logical
+/// event execution only, so they must come out byte-identical across
+/// `-j` worker counts and `--shards N` (per shard, the executed event
+/// set is fixed by the partition). They feed the counter fingerprint.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct SimCounters {
     /// Packets injected by agents.
@@ -44,6 +49,8 @@ pub struct SimCounters {
     pub events_processed: u64,
     /// Timer events that fired (cancelled ones excluded).
     pub timers_fired: u64,
+    /// Timers cancelled by agents before firing.
+    pub timers_cancelled: u64,
 }
 
 /// Everything the simulator owns except the agent table. Split out so a
@@ -77,6 +84,17 @@ pub struct SimCore {
     egress_seq: Vec<u64>,
     /// Boundary arrivals produced since the last flush.
     outbox: Vec<WireMsg>,
+    /// Sim-plane delivery-latency histogram (send to agent hand-off,
+    /// in sim nanoseconds). Deterministic: recorded per executed
+    /// Deliver event from sim timestamps only.
+    pub(crate) delivery_latency: iq_obs::Hist,
+    /// Wall-clock phase profiler for this simulator's slice of the run
+    /// (engine plane; driven by the shard worker loop, or wrapped
+    /// around the serial run loop).
+    pub(crate) profiler: iq_obs::PhaseProfiler,
+    /// Engine-plane counters maintained by the shard worker loop (all
+    /// zero in serial runs).
+    pub(crate) shard_stats: crate::shard::ShardStats,
 }
 
 impl SimCore {
@@ -102,6 +120,7 @@ impl SimCore {
     }
 
     pub(crate) fn cancel_timer(&mut self, id: TimerId) {
+        self.counters.timers_cancelled += 1;
         self.timers.cancel(TimerKey(id.0));
     }
 
@@ -294,6 +313,9 @@ impl Simulator {
                 egress: Vec::new(),
                 egress_seq: Vec::new(),
                 outbox: Vec::new(),
+                delivery_latency: iq_obs::Hist::new(),
+                profiler: iq_obs::PhaseProfiler::new(),
+                shard_stats: crate::shard::ShardStats::default(),
             },
             agents: Vec::new(),
             agent_addrs: Vec::new(),
@@ -372,6 +394,133 @@ impl Simulator {
     /// Simulation-wide counters.
     pub fn counters(&self) -> SimCounters {
         self.core.counters
+    }
+
+    /// Engine-plane scheduler counters (placement/drain behavior).
+    pub fn sched_stats(&self) -> crate::sched::SchedStats {
+        self.core.queue.stats()
+    }
+
+    /// Wall-clock phase breakdown accumulated so far (engine plane).
+    pub fn phase_snapshot(&self) -> iq_obs::PhaseSnapshot {
+        self.core.profiler.snapshot()
+    }
+
+    /// Sim-plane delivery-latency histogram.
+    pub fn delivery_latency(&self) -> &iq_obs::Hist {
+        &self.core.delivery_latency
+    }
+
+    /// Mutable profiler handle for the driving loop (shard worker or a
+    /// serial wrapper).
+    pub fn profiler(&mut self) -> &mut iq_obs::PhaseProfiler {
+        &mut self.core.profiler
+    }
+
+    /// Mutable shard-loop counters (maintained by `crate::shard`).
+    pub(crate) fn shard_stats_mut(&mut self) -> &mut crate::shard::ShardStats {
+        &mut self.core.shard_stats
+    }
+
+    /// Reports this simulator's metrics into `reg`, labelled with
+    /// `shard`. Sim-plane counters and the delivery-latency histogram
+    /// are deterministic; scheduler placement stats, occupancy gauges,
+    /// and shard-loop counters go on the engine plane.
+    pub fn collect_obs(&self, reg: &mut iq_obs::Registry, shard: &str) {
+        use iq_obs::Plane;
+        let c = self.core.counters;
+        let l = [("shard", shard)];
+        reg.counter(Plane::Sim, "iq_sim_events_total", &l, c.events_processed);
+        reg.counter(Plane::Sim, "iq_sim_packets_sent_total", &l, c.packets_sent);
+        reg.counter(
+            Plane::Sim,
+            "iq_sim_packets_delivered_total",
+            &l,
+            c.packets_delivered,
+        );
+        reg.counter(
+            Plane::Sim,
+            "iq_sim_packets_unroutable_total",
+            &l,
+            c.packets_unroutable,
+        );
+        reg.counter(Plane::Sim, "iq_sim_timers_fired_total", &l, c.timers_fired);
+        reg.counter(
+            Plane::Sim,
+            "iq_sim_timers_cancelled_total",
+            &l,
+            c.timers_cancelled,
+        );
+        reg.hist(
+            Plane::Sim,
+            "iq_sim_delivery_latency_ns",
+            &l,
+            &self.core.delivery_latency,
+        );
+
+        let s = self.core.queue.stats();
+        reg.counter(Plane::Engine, "iq_sched_near_hits_total", &l, s.near_hits);
+        reg.counter(
+            Plane::Engine,
+            "iq_sched_near_inserts_total",
+            &l,
+            s.near_inserts,
+        );
+        for (level, &n) in s.wheel_pushes.iter().enumerate() {
+            let lvl = level.to_string();
+            reg.counter(
+                Plane::Engine,
+                "iq_sched_wheel_pushes_total",
+                &[("shard", shard), ("level", &lvl)],
+                n,
+            );
+        }
+        reg.counter(Plane::Engine, "iq_sched_far_spills_total", &l, s.far_spills);
+        reg.counter(
+            Plane::Engine,
+            "iq_sched_bucket_drains_total",
+            &l,
+            s.bucket_drains,
+        );
+        reg.counter(Plane::Engine, "iq_sched_fast_drains_total", &l, s.fast_drains);
+        reg.counter(Plane::Engine, "iq_sched_cascades_total", &l, s.cascades);
+        reg.counter(
+            Plane::Engine,
+            "iq_sched_far_adoptions_total",
+            &l,
+            s.far_adoptions,
+        );
+        let (levels, far, near) = self.core.queue.occupancy();
+        for (level, &n) in levels.iter().enumerate() {
+            let lvl = level.to_string();
+            reg.gauge(
+                Plane::Engine,
+                "iq_sched_wheel_events",
+                &[("shard", shard), ("level", &lvl)],
+                n as f64,
+            );
+        }
+        reg.gauge(Plane::Engine, "iq_sched_far_events", &l, far as f64);
+        reg.gauge(Plane::Engine, "iq_sched_near_events", &l, near as f64);
+
+        let sh = self.core.shard_stats;
+        reg.counter(Plane::Engine, "iq_shard_windows_total", &l, sh.windows);
+        reg.counter(Plane::Engine, "iq_shard_stalls_total", &l, sh.stalls);
+        reg.counter(
+            Plane::Engine,
+            "iq_shard_ingress_msgs_total",
+            &l,
+            sh.ingress_msgs,
+        );
+        let phases = self.core.profiler.snapshot();
+        for (i, name) in iq_obs::profile::PHASE_NAMES.iter().enumerate() {
+            reg.gauge(
+                Plane::Engine,
+                "iq_shard_phase_seconds",
+                &[("shard", shard), ("phase", name)],
+                phases.nanos[i] as f64 / 1e9,
+            );
+        }
     }
 
     /// Stats for one link.
@@ -491,6 +640,10 @@ impl Simulator {
             EventKind::Deliver { agent, packet } => {
                 self.core.counters.packets_delivered += 1;
                 let pkt = self.core.packets.take(packet);
+                iq_obs::hist_record!(
+                    self.core.delivery_latency,
+                    self.core.now.saturating_sub(pkt.sent_at)
+                );
                 self.dispatch(agent, |a, ctx| a.on_packet(ctx, pkt));
             }
             EventKind::Timer { key } => {

@@ -1,0 +1,236 @@
+//! Log-linear (HDR-style) histogram.
+//!
+//! Values are bucketed exactly below `1 << SUB_BITS` and log-linearly
+//! above: each power-of-two octave is split into `1 << SUB_BITS` linear
+//! sub-buckets, giving a bounded relative error of `1 / (1 << SUB_BITS)`
+//! (~6%) across the full `u64` range with a fixed 976-slot table.
+//!
+//! Merging is element-wise addition of bucket counts, so it is
+//! associative and commutative — shard-merge order cannot affect the
+//! merged histogram (pinned by a proptest).
+
+/// Linear sub-buckets per octave, as a bit count.
+const SUB_BITS: u32 = 4;
+const SUB: u64 = 1 << SUB_BITS;
+/// Total buckets needed to cover `u64`: `SUB` exact buckets plus
+/// `(64 - SUB_BITS)` octaves of `SUB` sub-buckets each.
+const BUCKETS: usize = (SUB as usize) * (64 - SUB_BITS as usize + 1);
+
+/// Fixed-size log-linear histogram of `u64` samples.
+#[derive(Clone, Debug)]
+pub struct Hist {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Hist {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros();
+        let shift = msb - SUB_BITS;
+        let sub = (v >> shift) - SUB;
+        (((msb - SUB_BITS + 1) << SUB_BITS) + sub as u32) as usize
+    }
+}
+
+/// Inclusive lower bound of bucket `b` (the smallest value mapping to it).
+fn bucket_lower(b: usize) -> u64 {
+    let b = b as u64;
+    if b < SUB {
+        b
+    } else {
+        let octave = b >> SUB_BITS;
+        let sub = b & (SUB - 1);
+        (SUB + sub) << (octave - 1)
+    }
+}
+
+impl Hist {
+    pub fn new() -> Self {
+        Hist {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.wrapping_add(v);
+        if v < self.min {
+            self.min = v;
+        }
+        if v > self.max {
+            self.max = v;
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Element-wise merge; associative and commutative by construction.
+    pub fn merge(&mut self, other: &Hist) {
+        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.wrapping_add(other.sum);
+        if other.count > 0 {
+            if other.min < self.min {
+                self.min = other.min;
+            }
+            if other.max > self.max {
+                self.max = other.max;
+            }
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]`: the lower bound of the first
+    /// bucket whose cumulative count reaches `ceil(q * count)`.
+    /// Deterministic (integer arithmetic only).
+    pub fn quantile(&self, q_num: u64, q_den: u64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        // rank in [1, count]
+        let rank = ((self.count as u128 * q_num as u128).div_ceil(q_den as u128) as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_lower(i).max(self.min).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Compact summary for the registry / exposition layer.
+    pub fn summarize(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            min: self.min(),
+            max: self.max(),
+            p50: self.quantile(1, 2),
+            p90: self.quantile(9, 10),
+            p99: self.quantile(99, 100),
+            p999: self.quantile(999, 1000),
+        }
+    }
+}
+
+/// Point-in-time summary of a [`Hist`], stored in the registry.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistSummary {
+    pub count: u64,
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_below_sub() {
+        for v in 0..SUB {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_bounds_are_consistent() {
+        // Every bucket's lower bound maps back to that bucket, and
+        // bounds are strictly increasing.
+        let mut prev = None;
+        for b in 0..BUCKETS {
+            let lo = bucket_lower(b);
+            assert_eq!(bucket_index(lo), b, "bucket {b} lower {lo}");
+            if let Some(p) = prev {
+                assert!(lo > p);
+            }
+            prev = Some(lo);
+        }
+    }
+
+    #[test]
+    fn relative_error_bounded() {
+        for &v in &[17u64, 100, 1_000, 123_456, u32::MAX as u64, 1 << 60] {
+            let lo = bucket_lower(bucket_index(v));
+            assert!(lo <= v);
+            // Bucket width is at most lo / SUB for log-linear buckets.
+            assert!((v - lo) as f64 <= lo as f64 / (SUB as f64 - 1.0) + 1.0);
+        }
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut a = Hist::new();
+        let mut b = Hist::new();
+        for v in 1..=100u64 {
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+        }
+        let mut m = a.clone();
+        m.merge(&b);
+        assert_eq!(m.count(), 100);
+        assert_eq!(m.sum(), 5050);
+        assert_eq!(m.min(), 1);
+        assert_eq!(m.max(), 100);
+        let p50 = m.quantile(1, 2);
+        assert!((48..=52).contains(&p50), "p50 = {p50}");
+    }
+
+    #[test]
+    fn max_u64_does_not_panic() {
+        let mut h = Hist::new();
+        h.record(u64::MAX);
+        h.record(0);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), u64::MAX);
+    }
+}

@@ -1,0 +1,168 @@
+//! Pull-model metric registry.
+//!
+//! Hot paths own plain counter cells / histograms; after a run each
+//! component *reports into* a [`Registry`] (cheap, off the hot path).
+//! Metrics carry a [`Plane`]:
+//!
+//! - [`Plane::Sim`]: deterministic sim-time counters. Their canonical
+//!   rendering must be byte-identical across `-j` worker counts and
+//!   `--shards N`, and is folded into the determinism fingerprint.
+//! - [`Plane::Engine`]: engine mechanics (scheduler bucket placement,
+//!   payload-pool hits, shard windows, wall-clock phase times) that
+//!   legitimately depend on thread scheduling — never fingerprinted.
+
+use crate::hist::{Hist, HistSummary};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Plane {
+    /// Deterministic sim-time plane; folded into the fingerprint.
+    Sim,
+    /// Wall-clock / engine-mechanics plane; excluded from fingerprints.
+    Engine,
+}
+
+impl Plane {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Plane::Sim => "sim",
+            Plane::Engine => "engine",
+        }
+    }
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Counter(u64),
+    Gauge(f64),
+    Hist(HistSummary),
+}
+
+#[derive(Clone, Debug, PartialEq)]
+pub struct Metric {
+    pub name: String,
+    pub labels: Vec<(String, String)>,
+    pub plane: Plane,
+    pub value: Value,
+}
+
+/// A flat, sortable collection of metrics for one scenario run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Registry {
+    metrics: Vec<Metric>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    pub fn metrics(&self) -> &[Metric] {
+        &self.metrics
+    }
+
+    pub fn push(&mut self, m: Metric) {
+        self.metrics.push(m);
+    }
+
+    pub fn counter(&mut self, plane: Plane, name: &str, labels: &[(&str, &str)], v: u64) {
+        self.push(Metric {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            plane,
+            value: Value::Counter(v),
+        });
+    }
+
+    pub fn gauge(&mut self, plane: Plane, name: &str, labels: &[(&str, &str)], v: f64) {
+        self.push(Metric {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            plane,
+            value: Value::Gauge(v),
+        });
+    }
+
+    pub fn hist(&mut self, plane: Plane, name: &str, labels: &[(&str, &str)], h: &Hist) {
+        self.push(Metric {
+            name: name.to_string(),
+            labels: own_labels(labels),
+            plane,
+            value: Value::Hist(h.summarize()),
+        });
+    }
+
+    /// Sum of a counter across all label sets (e.g. per-shard cells).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.metrics
+            .iter()
+            .filter(|m| m.name == name)
+            .map(|m| match m.value {
+                Value::Counter(v) => v,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Canonical order: plane, then name, then labels. Rendering after
+    /// `sort()` is independent of report-into order.
+    pub fn sort(&mut self) {
+        self.metrics
+            .sort_by(|a, b| (a.plane, &a.name, &a.labels).cmp(&(b.plane, &b.name, &b.labels)));
+    }
+
+    /// Canonical text of the deterministic plane only — the byte string
+    /// whose FNV digest is the *counter fingerprint*.
+    pub fn sim_text(&self) -> String {
+        let mut sorted = self.clone();
+        sorted.sort();
+        crate::expo::render_prom(&sorted, Some(Plane::Sim))
+    }
+
+    /// The counter fingerprint: FNV-1a of [`Registry::sim_text`].
+    pub fn sim_fingerprint(&self) -> u64 {
+        crate::fnv64(self.sim_text().as_bytes())
+    }
+
+    /// Append all metrics from `other` (used when a scenario has
+    /// several collection sources).
+    pub fn extend(&mut self, other: Registry) {
+        self.metrics.extend(other.metrics);
+    }
+}
+
+fn own_labels(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_text_is_order_independent() {
+        let mut a = Registry::new();
+        a.counter(Plane::Sim, "iq_sim_events_total", &[("shard", "0")], 10);
+        a.counter(Plane::Sim, "iq_sim_events_total", &[("shard", "1")], 20);
+        a.counter(Plane::Engine, "iq_pool_hits_total", &[], 7);
+
+        let mut b = Registry::new();
+        b.counter(Plane::Engine, "iq_pool_hits_total", &[], 99); // engine plane ignored
+        b.counter(Plane::Sim, "iq_sim_events_total", &[("shard", "1")], 20);
+        b.counter(Plane::Sim, "iq_sim_events_total", &[("shard", "0")], 10);
+
+        assert_eq!(a.sim_text(), b.sim_text());
+        assert_eq!(a.sim_fingerprint(), b.sim_fingerprint());
+        assert_eq!(a.counter_total("iq_sim_events_total"), 30);
+    }
+}

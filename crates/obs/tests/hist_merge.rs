@@ -1,0 +1,72 @@
+//! Shard-merge order independence: histogram merge must be associative
+//! and commutative, because `ShardedSim` merges per-shard histograms in
+//! shard-index order while a re-run may collect them from a different
+//! number of worker threads. Element-wise bucket addition guarantees
+//! this; the proptest pins it against refactors.
+
+use iq_obs::Hist;
+use proptest::{prop, proptest, ProptestConfig};
+
+fn hist_of(values: &[u64]) -> Hist {
+    let mut h = Hist::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+fn render(h: &Hist) -> String {
+    // Compare through the full public surface: summary plus a quantile
+    // sweep, which is a function of every bucket count.
+    let s = h.summarize();
+    let mut out = format!(
+        "{} {} {} {} {} {} {} {}",
+        s.count, s.sum, s.min, s.max, s.p50, s.p90, s.p99, s.p999
+    );
+    for q in 1..=100u64 {
+        out.push_str(&format!(" {}", h.quantile(q, 100)));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn merge_is_commutative(a in prop::collection::vec(0u64..u64::MAX, 0..200), b in prop::collection::vec(0u64..u64::MAX, 0..200)) {
+        let (ha, hb) = (hist_of(&a), hist_of(&b));
+        let mut ab = ha.clone();
+        ab.merge(&hb);
+        let mut ba = hb.clone();
+        ba.merge(&ha);
+        assert_eq!(render(&ab), render(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative(
+        a in prop::collection::vec(0u64..u64::MAX, 0..150),
+        b in prop::collection::vec(0u64..u64::MAX, 0..150),
+        c in prop::collection::vec(0u64..u64::MAX, 0..150),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+        // (a ⊔ b) ⊔ c
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+        // a ⊔ (b ⊔ c)
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+        assert_eq!(render(&left), render(&right));
+    }
+
+    #[test]
+    fn merge_equals_concatenation(a in prop::collection::vec(0u64..u64::MAX, 0..200), b in prop::collection::vec(0u64..u64::MAX, 0..200)) {
+        let mut merged = hist_of(&a);
+        merged.merge(&hist_of(&b));
+        let mut concat: Vec<u64> = a.clone();
+        concat.extend_from_slice(&b);
+        assert_eq!(render(&merged), render(&hist_of(&concat)));
+    }
+}

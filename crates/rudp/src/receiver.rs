@@ -172,14 +172,17 @@ impl ReceiverConn {
             .max(1)
     }
 
-    /// Builds the SACK range list from the reorder buffer.
-    fn sack_ranges(&self) -> SackRanges {
+    /// Builds the SACK range list from the reorder buffer, counting the
+    /// ACKs whose block could not hold every hole (sim-plane counter:
+    /// a pure function of the deterministic buffer contents).
+    fn sack_ranges(&mut self) -> SackRanges {
         let mut ranges = SackRanges::new();
         for (seq, _) in self.buffer.iter() {
             match ranges.last_mut() {
                 Some((_, end)) if *end == seq => *end = seq + 1,
                 _ => {
                     if !ranges.push((seq, seq + 1)) {
+                        iq_obs::counter_inc!(self.stats.sack_truncations);
                         break;
                     }
                 }

@@ -142,4 +142,9 @@ pub struct ReceiverStats {
     pub msgs_delivered: u64,
     /// Messages dropped because one of their fragments was skipped.
     pub msgs_dropped_partial: u64,
+    /// ACKs whose SACK block could not represent every hole (more
+    /// reorder-buffer ranges than `MAX_SACK_RANGES`): the sender's loss
+    /// sweep stops at the last reported range, so chronic truncation
+    /// delays hole repair.
+    pub sack_truncations: u64,
 }

@@ -9,6 +9,7 @@
 //! iqrudp trace [FRAMES] [SEED]              dump a membership trace as TSV
 //! iqrudp demo                               one coordinated flow, annotated
 //! iqrudp mc [OPTS]                          model-check the coordination protocol
+//! iqrudp [FLAGS] obs [SIZE] [OPTS]          print a scenario's metric exposition
 //! ```
 //!
 //! `mc` runs the bounded model checker over a named scenario
@@ -44,6 +45,17 @@
 //!   scenario and write one JSONL stream per scenario into `DIR`. The
 //!   dumps are byte-identical for any `-j`, and rendered tables do not
 //!   change.
+//! * `--metrics DIR` — write each scenario's metric registry into `DIR`
+//!   as `NNN_<scenario>.prom` (Prometheus text exposition) and
+//!   `NNN_<scenario>.jsonl` (one JSON object per sample). Sim-plane
+//!   metrics are byte-identical for any `-j`/`--shards`; engine-plane
+//!   metrics (scheduler placement, pool hit rates, phase times) vary
+//!   with thread scheduling.
+//!
+//! `obs` runs one bench scenario (default `bulk_rudp`, pick with
+//! `--only NAME`) and prints its full exposition on stdout; `--verify`
+//! re-runs it at `--shards 2` and `4` and fails unless the sim-plane
+//! exposition is byte-identical.
 
 use iq_experiments::ablations::run_all_ablations;
 use iq_experiments::figures::{figure1, figure4_from_rows, figures_2_3, render_figure4};
@@ -186,6 +198,83 @@ fn cmd_bench(args: &[String]) {
 fn die(msg: &str) -> ! {
     eprintln!("error: {msg}");
     std::process::exit(2);
+}
+
+/// `iqrudp obs [SIZE] [--only NAME] [--verify]` — run one bench
+/// scenario and print its metric exposition (Prometheus text, both
+/// planes) on stdout. `--verify` re-runs the scenario at `--shards 2`
+/// and `4` and fails unless the sim-plane exposition is byte-identical
+/// every time. Combine with the global `--metrics DIR` flag to also
+/// write `.prom`/`.jsonl` dumps.
+fn cmd_obs(args: &[String]) {
+    let mut size = Size(0.05);
+    let mut only = "bulk_rudp".to_string();
+    let mut verify = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--only" => match it.next() {
+                Some(n) => only = n.clone(),
+                None => die("--only requires a scenario name"),
+            },
+            "--verify" => verify = true,
+            other => match other.parse::<f64>() {
+                Ok(s) if s > 0.0 => size = Size(s),
+                _ => die(&format!("obs: unknown argument `{other}`")),
+            },
+        }
+    }
+    let mut specs = iq_experiments::benchmode::bench_specs(size);
+    let names: Vec<String> = specs.iter().map(|s| s.name.clone()).collect();
+    specs.retain(|s| s.name == only);
+    if specs.is_empty() {
+        die(&format!(
+            "obs: no scenario named `{only}` (available: {})",
+            names.join(", ")
+        ));
+    }
+
+    let reports = iq_experiments::run_specs(&specs);
+    for rep in &reports {
+        let mut reg = rep.result.obs.clone();
+        reg.sort();
+        let text = iq_obs::expo::render_prom(&reg, None);
+        match iq_obs::expo::validate_prom(&text) {
+            Ok(n) => eprintln!(
+                "obs: `{}` exposition parses ({n} samples), counter fingerprint {:#018x}",
+                rep.name,
+                reg.sim_fingerprint()
+            ),
+            Err(e) => {
+                eprintln!("obs: `{}` exposition INVALID: {e}", rep.name);
+                std::process::exit(1);
+            }
+        }
+        print!("{text}");
+    }
+
+    if verify {
+        let before = iq_experiments::shards();
+        for shards in [2usize, 4] {
+            iq_experiments::set_shards(shards);
+            let again = iq_experiments::run_specs(&specs);
+            for (a, b) in reports.iter().zip(&again) {
+                if a.result.obs.sim_text() != b.result.obs.sim_text() {
+                    eprintln!(
+                        "obs verify: FAILED — `{}` sim-plane metrics diverged at \
+                         --shards {shards}",
+                        a.name
+                    );
+                    std::process::exit(1);
+                }
+            }
+        }
+        iq_experiments::set_shards(before);
+        eprintln!(
+            "obs verify: `{only}` sim-plane metrics byte-identical across \
+             --shards {before}/2/4 — ok"
+        );
+    }
 }
 
 fn cmd_mc(args: &[String]) {
@@ -414,6 +503,22 @@ fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
                     }
                 }
             }
+            "--metrics" => {
+                let dir = it.next().unwrap_or_else(|| {
+                    eprintln!("error: --metrics requires a directory argument");
+                    std::process::exit(2);
+                });
+                iq_experiments::set_metrics_dir(Some(dir));
+            }
+            _ if a.starts_with("--metrics=") => {
+                match a.split_once('=').map(|(_, v)| v.to_string()) {
+                    Some(dir) if !dir.is_empty() => iq_experiments::set_metrics_dir(Some(dir)),
+                    _ => {
+                        eprintln!("error: --metrics= requires a directory");
+                        std::process::exit(2);
+                    }
+                }
+            }
             "--no-timing" => timing = false,
             _ => rest.push(a),
         }
@@ -435,16 +540,18 @@ fn main() {
         Some("trace") => cmd_trace(&args[1..]),
         Some("demo") => cmd_demo(),
         Some("mc") => cmd_mc(&args[1..]),
+        Some("obs") => cmd_obs(&args[1..]),
         _ => {
             eprintln!(
                 "usage: iqrudp [-j N] [--shards N] [--verify-determinism] [--no-timing] \
-                 [--telemetry DIR] \
+                 [--telemetry DIR] [--metrics DIR] \
                  <tables [SIZE] [tN] | figures [SIZE] | ablations [SIZE] | \
                  bench [SIZE] [--out PATH] [--label STR] [--check PATH] \
                  [--max-regress FRAC] [--only NAME] | trace [FRAMES] [SEED] | demo | \
                  mc [--scenario NAME] [--cc lda|cubic|bbr|rrr] [--depth N] \
                  [--drops K] [--ticks K] \
-                 [--seed-break reinflate|cond|deferral]>"
+                 [--seed-break reinflate|cond|deferral] | \
+                 obs [SIZE] [--only NAME] [--verify]>"
             );
             std::process::exit(2);
         }
