@@ -35,7 +35,7 @@
 //!
 //! The shard *partition* is fixed by the topology; `threads` only
 //! chooses how many OS threads execute the fixed set of shards
-//! (round-robin by shard index, like the runner's `-j`). Cross-shard
+//! (pair-blocked round robin, see [`static_assignment`]). Cross-shard
 //! arrivals carry a content-derived sequence number — built from the
 //! boundary link id and a per-link message counter, both of which depend
 //! only on the sending shard's (deterministic) execution order — so the
@@ -282,9 +282,8 @@ impl ShardedSim {
         self.shards.len()
     }
 
-    /// Sets how many OS threads execute the shards (default 1). Shard
-    /// `i` runs on thread `i % threads`; the value never affects
-    /// results, only wall-clock time.
+    /// Sets how many OS threads execute the shards (default 1). The
+    /// value never affects results, only wall-clock time.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
     }
@@ -454,13 +453,14 @@ impl ShardedSim {
         let boundaries = &self.boundaries;
         let boundary_of_link = &self.boundary_of_link;
 
-        // Fixed shard-to-thread assignment: thread t executes shards
-        // i ≡ t (mod threads). The partition is what determines results;
-        // this mapping only balances work.
+        // Fixed shard-to-thread assignment (see [`static_assignment`]).
+        // The partition is what determines results; this mapping only
+        // balances work.
+        let assignment = static_assignment(self.shards.len(), threads);
         let mut groups: Vec<Vec<(usize, &mut Simulator)>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (i, sim) in self.shards.iter_mut().enumerate() {
-            groups[i % threads].push((i, sim));
+            groups[assignment[i]].push((i, sim));
         }
 
         std::thread::scope(|scope| {
@@ -566,6 +566,22 @@ impl ShardedSim {
 /// shard streams are decorrelated but fully determined by (seed, index).
 fn mix_seed(seed: u64, shard: usize) -> u64 {
     seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
+}
+
+/// Static shard→thread assignment: pair-blocked round robin, shard `i`
+/// runs on thread `(i / 2) % threads`.
+///
+/// Paired topologies (the mega-flow dumbbell legs) declare shards in
+/// left/right order, so even indices carry the sender-side work — with
+/// plain `i % threads` at `threads = 2` every heavy even shard landed on
+/// worker 0 and every light odd shard on worker 1 (a ~6× execute-time
+/// imbalance in the committed bench profile). Assigning *pairs* round
+/// robin keeps each leg's heavy and light halves together, so every
+/// worker receives the same even/odd mix for any thread count. The
+/// mapping never affects results, only wall-clock balance.
+pub(crate) fn static_assignment(shards: usize, threads: usize) -> Vec<usize> {
+    let threads = threads.max(1);
+    (0..shards).map(|i| (i / 2) % threads).collect()
 }
 
 #[cfg(test)]
@@ -702,6 +718,29 @@ mod tests {
         let s0 = sim.add_shard();
         sim.add_node(s0);
         sim.add_shard();
+    }
+
+    #[test]
+    fn static_assignment_mixes_parities_on_every_thread() {
+        // 8 dumbbell legs declared left/right: evens are the heavy
+        // sender side. Every worker must receive the same number of
+        // even and odd shards, for any thread count that divides the
+        // pair count.
+        for threads in [1usize, 2, 4, 8] {
+            let a = static_assignment(16, threads);
+            for t in 0..threads {
+                let evens = (0..16).filter(|&i| a[i] == t && i % 2 == 0).count();
+                let odds = (0..16).filter(|&i| a[i] == t && i % 2 == 1).count();
+                assert_eq!(
+                    evens, odds,
+                    "thread {t} of {threads}: {evens} even vs {odds} odd shards"
+                );
+                assert_eq!(evens + odds, 16 / threads);
+            }
+        }
+        // Ragged cases still cover every thread and every shard.
+        let a = static_assignment(5, 2);
+        assert_eq!(a, vec![0, 0, 1, 1, 0]);
     }
 
     #[test]
