@@ -90,6 +90,28 @@ pub struct BenchScenario {
     /// for serial scenarios). Rendered into the non-gated `profile`
     /// section of the JSON.
     pub profile: Vec<iq_obs::PhaseSnapshot>,
+    /// Execute-to-wall utilization: sum of execute time over sum of
+    /// total profiled time across shards (engine plane). 1.0 for a
+    /// serial scenario with no idle/ingress/flush phases.
+    pub utilization: f64,
+    /// Shard-scheduler totals (engine plane; all zero for the serial
+    /// scenarios — see [`iq_netsim::SchedTotals`]).
+    pub sched: iq_netsim::SchedTotals,
+}
+
+/// Execute-to-wall utilization of a (possibly per-shard) phase profile:
+/// total execute nanos over total profiled nanos. Empty or unprofiled
+/// input reports 1.0 (a serial run executes the whole time).
+pub(crate) fn utilization(profile: &[iq_obs::PhaseSnapshot]) -> f64 {
+    let total: u64 = profile.iter().map(|s| s.total_nanos()).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let execute: u64 = profile
+        .iter()
+        .map(|s| s.nanos[iq_obs::Phase::Execute as usize])
+        .sum();
+    execute as f64 / total as f64
 }
 
 /// One full sweep measurement.
@@ -232,6 +254,8 @@ fn to_bench_scenario(name: String, r: &crate::runner::ScenarioReport) -> BenchSc
         shards: r.shards,
         fingerprint: crate::runner::result_fingerprint(&r.result),
         counter_fingerprint: r.result.obs.sim_fingerprint(),
+        utilization: utilization(&r.result.phase_profile),
+        sched: r.result.sched,
         profile: r.result.phase_profile.clone(),
     }
 }
@@ -330,6 +354,54 @@ pub fn mem_stats_available() -> bool {
     current_rss_bytes() > 0
 }
 
+/// Background `VmRSS` sampler: records the process-wide peak resident
+/// set between [`Self::start`] and [`Self::finish`], so a scenario is
+/// charged for its *transient* peak. The plain after-minus-before delta
+/// this replaces reported 0 for every scenario whose working set was
+/// freed before the final sample (`tcp_fairness`, `many_flows`, and
+/// `bbr_many_flows` all did).
+pub(crate) struct RssSampler {
+    stop: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    handle: Option<std::thread::JoinHandle<u64>>,
+    before: u64,
+}
+
+impl RssSampler {
+    /// Starts the sampling thread and records the baseline.
+    pub(crate) fn start() -> Self {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let before = current_rss_bytes();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let flag = std::sync::Arc::clone(&stop);
+        let handle = std::thread::spawn(move || {
+            let mut peak = 0u64;
+            while !flag.load(Ordering::Acquire) {
+                peak = peak.max(current_rss_bytes());
+                std::thread::sleep(std::time::Duration::from_millis(25));
+            }
+            peak
+        });
+        Self {
+            stop,
+            handle: Some(handle),
+            before,
+        }
+    }
+
+    /// Stops sampling and returns the peak-over-baseline delta in bytes.
+    /// The current RSS is folded in as a final sample, so the result is
+    /// never smaller than the old after-minus-before delta.
+    pub(crate) fn finish(mut self) -> u64 {
+        self.stop.store(true, std::sync::atomic::Ordering::Release);
+        let peak = self
+            .handle
+            .take()
+            .and_then(|h| h.join().ok())
+            .unwrap_or(0);
+        peak.max(current_rss_bytes()).saturating_sub(self.before)
+    }
+}
+
 fn render_run(run: &BenchRun, indent: &str) -> String {
     let mut s = String::new();
     s.push_str("{\n");
@@ -356,13 +428,14 @@ fn render_run(run: &BenchRun, indent: &str) -> String {
     for (i, sc) in run.scenarios.iter().enumerate() {
         let comma = if i + 1 < run.scenarios.len() { "," } else { "" };
         s.push_str(&format!(
-            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}, \"shards\": {}, \"fingerprint\": {}, \"counter_fingerprint\": {}}}{comma}\n",
+            "{indent}    {{\"name\": \"{}\", \"events\": {}, \"wall_s\": {}, \"events_per_sec\": {}, \"peak_rss_bytes\": {}, \"shards\": {}, \"utilization\": {}, \"fingerprint\": {}, \"counter_fingerprint\": {}}}{comma}\n",
             sc.name,
             sc.events,
             fmt_f64(sc.wall_s),
             fmt_f64(sc.events_per_sec),
             sc.peak_rss_bytes,
             sc.shards,
+            fmt_f64(sc.utilization),
             sc.fingerprint,
             sc.counter_fingerprint
         ));
@@ -398,7 +471,15 @@ fn render_profile(run: &BenchRun, indent: &str) -> String {
         .collect();
     for (i, sc) in with_profile.iter().enumerate() {
         let comma = if i + 1 < with_profile.len() { "," } else { "" };
-        s.push_str(&format!("{indent}  \"{}\": [", sc.name));
+        s.push_str(&format!(
+            "{indent}  \"{}\": {{\"utilization\": {}, \"steals\": {}, \"parks\": {}, \"wakes\": {}, \"worker_parks\": {}, \"shards\": [",
+            sc.name,
+            fmt_f64(sc.utilization),
+            sc.sched.steals,
+            sc.sched.parks,
+            sc.sched.wakes,
+            sc.sched.worker_parks,
+        ));
         for (shard, p) in sc.profile.iter().enumerate() {
             if shard > 0 {
                 s.push_str(", ");
@@ -411,7 +492,7 @@ fn render_profile(run: &BenchRun, indent: &str) -> String {
                 fmt_f64(p.seconds(Phase::Flush)),
             ));
         }
-        s.push_str(&format!("]{comma}\n"));
+        s.push_str(&format!("]}}{comma}\n"));
     }
     s.push_str(&format!("{indent}}}"));
     s
@@ -420,7 +501,7 @@ fn render_profile(run: &BenchRun, indent: &str) -> String {
 /// Renders the full `BENCH_netsim.json` document.
 pub fn render_json(baseline: &str, current: &BenchRun) -> String {
     format!(
-        "{{\n  \"schema\": \"iq-bench-netsim/v2\",\n  \"baseline\": {},\n  \"current\": {},\n  \"profile\": {}\n}}\n",
+        "{{\n  \"schema\": \"iq-bench-netsim/v3\",\n  \"baseline\": {},\n  \"current\": {},\n  \"profile\": {}\n}}\n",
         baseline,
         render_run(current, "  "),
         render_profile(current, "  ")
@@ -591,6 +672,27 @@ pub fn bench_main(opts: &BenchOptions) -> Result<BenchRun, String> {
                 );
             }
         }
+        // Scheduler overhead gate, valid on *any* host: two shard
+        // threads must finish within 1.1x of one. Before the
+        // park/wake scheduler, spin-yielding workers starved the only
+        // runnable shard on a 1-core host and shards2 took 1.7x the
+        // shards1 wall time.
+        if let (Some(s1), Some(s2)) = (find("mega_flows_shards1"), find("mega_flows_shards2")) {
+            if s1.wall_s > 0.0 {
+                let ratio = s2.wall_s / s1.wall_s;
+                if ratio > 1.1 {
+                    return Err(format!(
+                        "shard overhead regression: mega_flows_shards2 wall {:.2}s is \
+                         {ratio:.2}x mega_flows_shards1 ({:.2}s); 2 shard threads must \
+                         stay within 1.1x of 1 on any host",
+                        s2.wall_s, s1.wall_s,
+                    ));
+                }
+                eprintln!(
+                    "bench check: mega_flows shards2/shards1 wall ratio {ratio:.2}x — ok"
+                );
+            }
+        }
     }
     Ok(run)
 }
@@ -613,6 +715,8 @@ mod tests {
                 shards: 1,
                 fingerprint: 0xfeed,
                 counter_fingerprint: 0xbeef,
+                utilization: 0.75,
+                sched: iq_netsim::SchedTotals::default(),
                 profile: vec![iq_obs::PhaseSnapshot::default()],
             }],
             total_events: 100,
@@ -621,11 +725,26 @@ mod tests {
             peak_rss_bytes: 1024,
         };
         let doc = render_json(&render_run(&run, "  "), &run);
+        assert!(doc.contains("\"schema\": \"iq-bench-netsim/v3\""));
         let cur = extract_object(&doc, "current").expect("current section");
         assert_eq!(extract_number(cur, "total_events_per_sec"), Some(400.0));
         assert_eq!(extract_number(cur, "total_events"), Some(100.0));
+        assert_eq!(extract_number(cur, "utilization"), Some(0.75));
         let base = extract_object(&doc, "baseline").expect("baseline section");
         assert_eq!(extract_number(base, "peak_rss_bytes"), Some(1024.0));
+    }
+
+    #[test]
+    fn utilization_is_execute_over_total() {
+        assert_eq!(utilization(&[]), 1.0);
+        assert_eq!(utilization(&[iq_obs::PhaseSnapshot::default()]), 1.0);
+        let mut a = iq_obs::PhaseSnapshot::default();
+        a.nanos[iq_obs::Phase::Execute as usize] = 300;
+        a.nanos[iq_obs::Phase::Idle as usize] = 100;
+        let mut b = iq_obs::PhaseSnapshot::default();
+        b.nanos[iq_obs::Phase::Flush as usize] = 100;
+        b.nanos[iq_obs::Phase::Execute as usize] = 100;
+        assert!((utilization(&[a, b]) - 400.0 / 600.0).abs() < 1e-12);
     }
 
     #[test]

@@ -175,6 +175,7 @@ mod tests {
                 shards_used: 1,
                 obs: iq_obs::Registry::new(),
                 phase_profile: Vec::new(),
+                sched: iq_netsim::SchedTotals::default(),
                 telemetry_evicted: 0,
             }
         }

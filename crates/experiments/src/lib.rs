@@ -20,7 +20,7 @@ pub mod tables;
 
 pub use benchmode::{bench_main, BenchOptions, BenchRun};
 pub use runner::{
-    jobs, run_parallel, run_specs, set_jobs, set_metrics_dir, set_shards,
+    jobs, run_parallel, run_specs, set_jobs, set_metrics_dir, set_shards, tune_allocator,
     set_telemetry_capture, set_telemetry_dir, set_telemetry_ring, set_timing_report,
     set_verify_determinism, shards, Executor, ScenarioReport, ScenarioSpec,
 };

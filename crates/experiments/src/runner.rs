@@ -43,6 +43,41 @@ static METRICS_DIR: Mutex<Option<String>> = Mutex::new(None);
 /// [`TELEMETRY_SEQ`].
 static METRICS_SEQ: AtomicUsize = AtomicUsize::new(0);
 
+/// One-time allocator tuning for multi-scenario sweeps. Call at the
+/// top of `main`, before any worker thread exists.
+///
+/// The big scenarios allocate on the order of a gigabyte, and each
+/// scenario runs on its own executor thread. Under glibc every thread
+/// gets its own malloc arena backed by mmapped sub-heaps, so a
+/// scenario's pages are unmapped when its sim drops and the arena
+/// empties — and whether the *next* scenario's thread lands on the
+/// same arena (reusing warm pages) or a different one (re-faulting the
+/// whole working set from the kernel) is a scheduling race. On
+/// memory-pressured hosts that race made sweep wall times bimodal and
+/// ratcheted peak RSS up by one working set per scenario. Routing all
+/// threads to the main (brk) arena and keeping the heap top instead of
+/// trimming it makes page reuse deterministic: RSS plateaus at the
+/// largest single scenario. No-op on non-glibc targets.
+pub fn tune_allocator() {
+    #[cfg(all(target_os = "linux", target_env = "gnu"))]
+    {
+        extern "C" {
+            fn mallopt(param: i32, value: i32) -> i32;
+        }
+        // glibc malloc.h: M_TRIM_THRESHOLD = -1, M_MMAP_THRESHOLD = -3,
+        // M_ARENA_MAX = -8. The trim threshold must exceed the largest
+        // amount freed at once (a whole sim teardown), or the heap top
+        // is released and re-faulted anyway; mallopt also pins the mmap
+        // threshold past its 32 MiB dynamic cap so mid-size slabs stay
+        // inside the reusable heap.
+        unsafe {
+            mallopt(-8, 1); // one shared arena for every thread
+            mallopt(-1, i32::MAX); // never trim the heap top
+            mallopt(-3, 1 << 30); // mmap only chunks >= 1 GiB
+        }
+    }
+}
+
 /// Sets the worker count used by [`run_parallel`] (0 = auto: one worker
 /// per available core). Typically wired to a `--jobs N` CLI flag.
 pub fn set_jobs(n: usize) {
@@ -189,14 +224,15 @@ pub struct ScenarioReport {
     pub wall_s: f64,
     /// Simulator event throughput (events processed / wall_s).
     pub events_per_sec: f64,
-    /// Resident-set growth (`VmRSS` delta) across this scenario's run,
-    /// bytes. A per-scenario footprint estimate: unlike the old
-    /// process-wide `VmHWM` watermark — monotone, so every later
-    /// scenario was charged for the largest earlier one — the delta
-    /// isolates what this scenario itself held onto. Memory freed back
-    /// to the allocator's pools (not the OS) still counts toward the
-    /// first scenario that grew the heap, and concurrent scenarios can
-    /// bleed into each other's deltas, so treat it as an estimate.
+    /// Peak resident-set growth across this scenario's run, bytes:
+    /// maximum `VmRSS` sampled during the run minus the value at its
+    /// start (see `benchmode::RssSampler`). Sampling catches the
+    /// *transient* peak — a plain after-minus-before delta reported 0
+    /// for any scenario whose working set was freed before the final
+    /// sample. Memory retained in the allocator's pools still counts
+    /// toward the first scenario that grew the heap, and concurrent
+    /// scenarios can bleed into each other's deltas, so treat it as an
+    /// estimate.
     pub peak_rss_bytes: u64,
     /// OS threads used for intra-scenario sharded execution (1 for the
     /// serial scenarios).
@@ -295,11 +331,11 @@ impl Executor {
                 scope.spawn(move || loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     let Some(spec) = specs.get(i) else { break };
-                    let rss_before = crate::benchmode::current_rss_bytes();
+                    let rss = crate::benchmode::RssSampler::start();
                     let start = Instant::now();
                     let result = run_scenario(&spec.scenario);
                     let wall_s = start.elapsed().as_secs_f64();
-                    let rss_after = crate::benchmode::current_rss_bytes();
+                    let peak_rss_bytes = rss.finish();
                     if verify {
                         let again = run_scenario(&spec.scenario);
                         assert!(
@@ -321,7 +357,7 @@ impl Executor {
                         result,
                         wall_s,
                         events_per_sec,
-                        peak_rss_bytes: rss_after.saturating_sub(rss_before),
+                        peak_rss_bytes,
                         shards,
                     };
                     if tx.send((i, report)).is_err() {
@@ -347,6 +383,16 @@ impl Executor {
                                 eprintln!("        shard {s}: {}", snap.brief());
                             }
                         }
+                        let sched = report.result.sched;
+                        eprintln!(
+                            "        sched: {:.0}% utilization, {} steals, {} parks, \
+                             {} wakes, {} worker parks",
+                            100.0 * crate::benchmode::utilization(&report.result.phase_profile),
+                            sched.steals,
+                            sched.parks,
+                            sched.wakes,
+                            sched.worker_parks,
+                        );
                     }
                 }
                 slots[i] = Some(report);

@@ -330,6 +330,9 @@ pub struct RunResult {
     /// Wall-clock phase breakdown per shard (engine plane; a single
     /// entry for the serial scenarios, index = shard otherwise).
     pub phase_profile: Vec<iq_obs::PhaseSnapshot>,
+    /// Shard-scheduler totals (engine plane; all zero for the serial
+    /// scenarios, which have no scheduler).
+    pub sched: iq_netsim::SchedTotals,
     /// Telemetry records lost to ring-buffer overflow during the run
     /// (0 when capture is off). Nonzero means the captured JSONL is
     /// incomplete; the runner warns on stderr.
@@ -503,6 +506,7 @@ fn run_rudp(sc: &Scenario) -> RunResult {
         telemetry,
         shards_used: 1,
         phase_profile: vec![sim.phase_snapshot()],
+        sched: iq_netsim::SchedTotals::default(),
         obs,
         telemetry_evicted,
     }
@@ -701,6 +705,7 @@ fn run_incast(sc: &Scenario) -> RunResult {
         telemetry,
         shards_used: 1,
         phase_profile: vec![sim.phase_snapshot()],
+        sched: iq_netsim::SchedTotals::default(),
         obs,
         telemetry_evicted,
     }
@@ -840,18 +845,15 @@ fn run_mega(sc: &Scenario) -> RunResult {
         }
     }
 
-    // Run in one-second slices until every flow finished or the
-    // deadline elapses.
+    // Run in one-second epochs on one persistent worker pool until
+    // every flow finished or the deadline elapses.
     let deadline = time::secs(sc.deadline_s);
-    while sim.now() < deadline {
-        sim.run_for(time::secs(1.0));
-        let all_done = rxs
-            .iter()
-            .all(|&rx| sim.agent::<EchoSinkAgent>(rx).is_some_and(|s| s.is_finished()));
-        if all_done {
-            break;
-        }
-    }
+    sim.run_slices(deadline, time::secs(1.0), |view| {
+        rxs.iter().all(|&rx| {
+            view.with_agent::<EchoSinkAgent, _>(rx, |s| s.is_finished())
+                .unwrap_or(false)
+        })
+    });
 
     // Merge per-shard telemetry in shard-index order — the same
     // declaration-order discipline the runner uses for `-j`, so the
@@ -942,6 +944,7 @@ fn run_mega(sc: &Scenario) -> RunResult {
         telemetry,
         shards_used: threads as u32,
         phase_profile: sim.phase_snapshots(),
+        sched: sim.sched_totals(),
         obs,
         telemetry_evicted,
     }
@@ -1092,6 +1095,7 @@ fn run_tcp(sc: &Scenario) -> RunResult {
         telemetry: String::new(),
         shards_used: 1,
         phase_profile: vec![sim.phase_snapshot()],
+        sched: iq_netsim::SchedTotals::default(),
         obs,
         telemetry_evicted: 0,
     }

@@ -224,13 +224,20 @@ pub trait EventSource {
 /// in ascending `(time, seq)` order.
 pub struct EventQueue {
     /// Events below `near_end`, sorted descending by `(time, seq)` so the
-    /// next event pops from the end; the only pop source. A drained
-    /// bucket holds a handful of events, so one `sort_unstable` beats
-    /// per-event heap sifts, and mid-drain inserts (same-time local
-    /// deliveries) are rare enough that `Vec::insert` stays cheap.
+    /// next event pops from the end. A drained bucket holds a handful of
+    /// events, so one `sort_unstable` beats per-event heap sifts.
     /// `Event`'s `Ord` is reversed (min-queue through a max-heap), so an
     /// ascending sort by that `Ord` *is* descending `(time, seq)`.
     near: Vec<Event>,
+    /// Overflow for pushes below `near_end` that can't take `near`'s
+    /// append fast path. A `Vec::insert` into the middle of a deep `near`
+    /// is `O(len)` memmove per event — ruinous when a dense bucket (a
+    /// timer burst, a window's worth of cross-shard arrivals) is resident
+    /// while handlers keep scheduling into its span. Parking those events
+    /// here is `O(log n)`, and `pop` takes the earlier of `near`'s tail
+    /// and this heap's top, which preserves the exact global `(time, seq)`
+    /// pop order. Reversed `Ord` makes the max-heap top the earliest.
+    near_over: BinaryHeap<Event>,
     /// Exclusive upper bound of the times fully migrated into `near`.
     near_end: Time,
     levels: Vec<Level>,
@@ -256,6 +263,7 @@ impl EventQueue {
     pub fn new() -> Self {
         Self {
             near: Vec::new(),
+            near_over: BinaryHeap::new(),
             near_end: 0,
             levels: (0..LEVELS).map(|_| Level::new()).collect(),
             far: BinaryHeap::new(),
@@ -278,7 +286,7 @@ impl EventQueue {
         for (i, l) in self.levels.iter().enumerate() {
             levels[i] = l.events;
         }
-        (levels, self.far.len(), self.near.len())
+        (levels, self.far.len(), self.near.len() + self.near_over.len())
     }
 
     /// Number of pending events.
@@ -308,8 +316,7 @@ impl EventQueue {
             match self.near.last() {
                 Some(last) if ev.cmp(last) != std::cmp::Ordering::Greater => {
                     counter_inc!(self.stats.near_inserts);
-                    let idx = self.near.binary_search(&ev).unwrap_err();
-                    self.near.insert(idx, ev);
+                    self.near_over.push(ev);
                 }
                 _ => {
                     counter_inc!(self.stats.near_hits);
@@ -335,17 +342,37 @@ impl EventQueue {
         self.far.push(ev);
     }
 
+    /// Whether the overlay heap (not `near`) holds the earliest pending
+    /// event. Reversed `Ord`: `Greater` means earlier `(time, seq)`.
+    #[inline]
+    fn overlay_first(&self) -> bool {
+        match (self.near.last(), self.near_over.peek()) {
+            (Some(n), Some(o)) => o.cmp(n) == std::cmp::Ordering::Greater,
+            (None, Some(_)) => true,
+            _ => false,
+        }
+    }
+
     /// Earliest pending `(time)`; `None` when empty. May migrate events
     /// internally, hence `&mut`.
     pub fn peek_time(&mut self) -> Option<Time> {
         self.refill();
-        self.near.last().map(|ev| ev.at)
+        match (self.near.last(), self.near_over.peek()) {
+            (Some(n), Some(o)) => Some(n.at.min(o.at)),
+            (Some(n), None) => Some(n.at),
+            (None, Some(o)) => Some(o.at),
+            (None, None) => None,
+        }
     }
 
     /// Removes and returns the earliest event (ties broken by `seq`).
     pub fn pop(&mut self) -> Option<Event> {
         self.refill();
-        let ev = self.near.pop();
+        let ev = if self.overlay_first() {
+            self.near_over.pop()
+        } else {
+            self.near.pop()
+        };
         if ev.is_some() {
             self.len -= 1;
         }
@@ -357,12 +384,22 @@ impl EventQueue {
     /// peek-then-pop round trip per event.
     pub fn pop_before(&mut self, deadline: Time) -> Option<Event> {
         self.refill();
-        match self.near.last() {
-            Some(ev) if ev.at <= deadline => {
-                self.len -= 1;
-                self.near.pop()
+        if self.overlay_first() {
+            match self.near_over.peek() {
+                Some(ev) if ev.at <= deadline => {
+                    self.len -= 1;
+                    self.near_over.pop()
+                }
+                _ => None,
             }
-            _ => None,
+        } else {
+            match self.near.last() {
+                Some(ev) if ev.at <= deadline => {
+                    self.len -= 1;
+                    self.near.pop()
+                }
+                _ => None,
+            }
         }
     }
 
@@ -456,7 +493,11 @@ impl EventQueue {
     }
 
     fn refill(&mut self) {
-        while self.near.is_empty() && self.len > 0 {
+        // An overlay event (always below `near_end`) precedes everything
+        // still in the wheels or far heap, so no migration is needed to
+        // pop it — and skipping refill keeps `drain_level0`'s "`near` was
+        // empty" sorting invariant intact.
+        while self.near.is_empty() && self.near_over.is_empty() && self.len > 0 {
             // Fast path: a level-0 bucket ending at or before the coarse
             // floor drains without touching the coarser levels at all.
             if let Some(b) = self.levels[0].next_occupied(self.cursor(0)) {

@@ -31,21 +31,47 @@
 //! which also guarantees livelock-free progress: the globally slowest
 //! shard can always advance by at least the minimum boundary delay.
 //!
+//! ## Scheduling
+//!
+//! Shards are *work items*, not thread-owned property. A persistent pool
+//! of workers (spawned once per [`ShardedSim::run_slices`] call, spanning
+//! every slice) pulls runnable shards from a shared ready queue ordered
+//! by shard clock, so the globally furthest-behind shard — the one
+//! gating everyone else's lookahead — runs first and any worker can
+//! execute any shard. Runnability is tracked with a tiny per-shard state
+//! machine (`IDLE`/`QUEUED`/`RUNNING` plus "signal arrived while
+//! queued/running" variants): when a shard publishes a new clock it
+//! bumps a per-shard *version counter* and signals exactly its
+//! downstream shards, so lookahead bounds are recomputed only when a
+//! predecessor clock actually advanced. A shard whose bound forbids
+//! progress parks (leaves the queue entirely) until the next upstream
+//! signal re-queues it, and workers with nothing to claim spin briefly
+//! and then block on a condvar — no busy-wait, no `yield_now` loop.
+//! Boundary output is staged per egress link during the window and
+//! handed off with one mailbox lock per boundary, not one per message.
+//! The pool is capped at the host's available parallelism (surplus
+//! workers would only time-slice the same cores and evict each other's
+//! shard working sets), except under [`ShardedSim::set_perturbation`],
+//! which deliberately oversubscribes to widen determinism-test coverage.
+//!
 //! ## Determinism
 //!
-//! The shard *partition* is fixed by the topology; `threads` only
-//! chooses how many OS threads execute the fixed set of shards
-//! (pair-blocked round robin, see [`static_assignment`]). Cross-shard
-//! arrivals carry a content-derived sequence number — built from the
-//! boundary link id and a per-link message counter, both of which depend
-//! only on the sending shard's (deterministic) execution order — so the
-//! receiving shard's event order never depends on *when* a message was
-//! drained. Merged outputs (counters, flow stats, telemetry) are
-//! combined in shard-index order, so every run is byte-identical for any
-//! thread count.
+//! The shard *partition* is fixed by the topology; `threads` only sizes
+//! the worker pool that executes the fixed set of shards, and the
+//! scheduler only decides *when* a shard runs, never *what* it runs:
+//! each shard executes its (deterministic) event sequence in windows
+//! whose boundaries cannot reorder events, and the conservative bound
+//! guarantees every cross-shard arrival below a window's limit is
+//! present before the window runs. Cross-shard arrivals carry a
+//! content-derived sequence number — built from the boundary link id and
+//! a per-link message counter, both of which depend only on the sending
+//! shard's execution order — so the receiving shard's event order never
+//! depends on *when* a message was drained. Merged outputs (counters,
+//! flow stats, telemetry) are combined in shard-index order, so every
+//! run is byte-identical for any worker count or schedule.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
 
 use iq_obs::{counter_add, counter_inc, Phase};
 
@@ -78,20 +104,27 @@ pub fn boundary_seq(link: LinkId, counter: u64) -> u64 {
     BOUNDARY_SEQ_BASE | (u64::from(link.0) << BOUNDARY_COUNTER_BITS) | counter
 }
 
-/// Engine-plane counters for one shard's worker-loop behavior: how many
-/// lookahead windows it ran, how often it was lookahead-limited
-/// (stalled waiting on a neighbor's clock), and how many cross-shard
-/// messages it drained. Thread-schedule dependent by nature — two runs
-/// with different `threads` values produce different window patterns —
+/// Engine-plane counters for one shard's scheduling behavior: how many
+/// lookahead windows it ran, how often it was lookahead-limited, how
+/// many cross-shard messages it drained, and how the scheduler moved it
+/// around (steals, parks, wakes it issued). Schedule-dependent by nature
+/// — two runs with different `threads` values produce different values —
 /// so these never enter the counter fingerprint.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct ShardStats {
     /// Lookahead windows executed (`run_window` calls that made progress).
     pub windows: u64,
-    /// Iterations where the ingress lookahead bound forbade progress.
+    /// Claims where the ingress lookahead bound forbade progress.
     pub stalls: u64,
     /// Cross-shard arrivals drained from ingress mailboxes.
     pub ingress_msgs: u64,
+    /// Times this shard was claimed by a different worker than last time.
+    pub steals: u64,
+    /// Times this shard left the ready queue to wait for an upstream
+    /// clock (it re-enters only when a predecessor signals it).
+    pub parks: u64,
+    /// Downstream shards this shard re-queued by publishing its clock.
+    pub wakes: u64,
 }
 
 /// A packet in flight between shards: the far-end arrival of a boundary
@@ -214,6 +247,515 @@ struct Boundary {
     lookahead: u64,
 }
 
+/// Scheduler totals summed over every shard (plus the pool-level park
+/// count), for `--timing` reports and the bench `profile` section.
+/// Engine-plane: schedule-dependent, never fingerprinted.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedTotals {
+    /// Shard claims by a different worker than the previous claim.
+    pub steals: u64,
+    /// Shards leaving the ready queue to wait for an upstream clock.
+    pub parks: u64,
+    /// Downstream re-queues caused by clock publishes.
+    pub wakes: u64,
+    /// Workers blocking on the pool condvar for lack of runnable shards.
+    pub worker_parks: u64,
+}
+
+/// One shard as the scheduler sees it: the serial simulator plus the
+/// claiming worker's private scratch state. Guarded by a `Mutex` during
+/// `run_slices` — uncontended in steady state, since the state machine
+/// guarantees at most one claimer; the lock's job is to carry memory
+/// visibility between *successive* claims from different workers.
+struct ShardSlot {
+    sim: Simulator,
+    /// Cached `min over ingress of (C[src] + lookahead)` — recomputed
+    /// only when `seen_version` trails the shard's signal version.
+    cached_bound: Time,
+    /// Signal version the cached bound was computed at (`u64::MAX`
+    /// forces the first recompute).
+    seen_version: u64,
+    /// Worker that ran this shard last (`usize::MAX` = never) — steal
+    /// accounting only.
+    last_worker: usize,
+    /// Per-egress-boundary staging for lock-amortized flush (parallel to
+    /// the shard's egress list).
+    staging: Vec<Vec<WireMsg>>,
+    /// Swap target for mailbox drains, so a drain is one `Vec` swap
+    /// under the channel lock instead of an allocation.
+    ingress_buf: Vec<WireMsg>,
+}
+
+// Per-shard scheduling states. The *_SIGNALED variants record "a
+// predecessor published a clock while this shard was queued/running";
+// claiming or exiting a signaled shard recomputes its bound from fresh
+// clock loads (the CAS that observed the signal gives the happens-before
+// edge to the publisher's store), which is what makes the park/wake
+// protocol lose no wakeups.
+const S_IDLE: u8 = 0;
+const S_QUEUED: u8 = 1;
+const S_RUNNING: u8 = 2;
+const S_RUNNING_SIGNALED: u8 = 3;
+const S_QUEUED_SIGNALED: u8 = 4;
+
+/// Spin iterations a worker burns on an empty ready queue before
+/// blocking on the pool condvar.
+const SPIN_LIMIT: u32 = 64;
+
+/// Retained-capacity cap (in messages) for the boundary mailbox
+/// buffers. A synchronized burst — 102,400 flows opening at once — can
+/// spike one window's boundary traffic to megabytes, and a message
+/// passes through three reused buffers (staging batch, channel,
+/// ingress swap buffer) per link; without a cap every one of them
+/// would keep that burst's high-water capacity for the rest of the
+/// process. Steady-state windows stay well under the cap, so the
+/// shrink almost never reallocates in the hot path.
+const MAILBOX_KEEP: usize = 16 * 1024;
+
+/// Ready-queue and epoch bookkeeping behind the scheduler mutex.
+struct SchedInner {
+    /// Runnable shards as `(clock at enqueue, shard)`; claimed min-clock
+    /// first so the shard gating everyone's lookahead runs next.
+    ready: Vec<(Time, usize)>,
+    /// Shards that have not yet crossed the current epoch target.
+    remaining: usize,
+    /// Workers exit once set (and the queue has drained).
+    shutdown: bool,
+}
+
+/// The shared scheduler: ready queue, per-shard claim states, and the
+/// epoch rendezvous between the pool and the main thread.
+struct Sched {
+    m: Mutex<SchedInner>,
+    /// Workers wait here when no shard is claimable.
+    worker_cv: Condvar,
+    /// The main thread waits here for `remaining == 0`.
+    main_cv: Condvar,
+    state: Vec<AtomicU8>,
+    /// Mirror of `ready.len()` so workers can spin without the lock.
+    ready_len: AtomicUsize,
+    /// Exclusive epoch target (shards run events strictly below it).
+    target: AtomicU64,
+    /// A worker panicked; unblock everyone and surface it.
+    panicked: AtomicBool,
+}
+
+impl Sched {
+    fn new(shards: usize) -> Self {
+        Self {
+            m: Mutex::new(SchedInner {
+                ready: Vec::with_capacity(shards),
+                remaining: 0,
+                shutdown: false,
+            }),
+            worker_cv: Condvar::new(),
+            main_cv: Condvar::new(),
+            state: (0..shards).map(|_| AtomicU8::new(S_IDLE)).collect(),
+            ready_len: AtomicUsize::new(0),
+            target: AtomicU64::new(0),
+            panicked: AtomicBool::new(false),
+        }
+    }
+}
+
+/// Everything a worker needs, borrowed from the [`ShardedSim`] for the
+/// duration of one `run_slices` call.
+struct Engine<'a> {
+    slots: &'a [Mutex<ShardSlot>],
+    clocks: &'a [AtomicU64],
+    signal_version: &'a [AtomicU64],
+    boundaries: &'a [Boundary],
+    boundary_of_link: &'a [u32],
+    ingress: &'a [Vec<usize>],
+    egress: &'a [Vec<usize>],
+    staging_pos: &'a [u32],
+    successors: &'a [Vec<usize>],
+    channels: &'a [Mutex<Vec<WireMsg>>],
+    worker_parks: &'a AtomicU64,
+    perturb: Option<u64>,
+    /// No worker pool: the thread calling `run_epoch` executes every
+    /// shard itself. Chosen when only one worker would exist anyway
+    /// (single shard, `--shards N` on a 1-core host), where a pool
+    /// thread adds condvar/futex round trips per epoch but no
+    /// parallelism.
+    inline: bool,
+    sched: Sched,
+}
+
+/// Unblocks the scheduler if a worker unwinds (e.g. an agent panic
+/// inside `run_window`), so the main thread and sibling workers don't
+/// deadlock waiting for an epoch that will never finish. The panic
+/// itself still propagates through `thread::scope`.
+struct PanicGuard<'e, 'a>(&'e Engine<'a>);
+
+impl Drop for PanicGuard<'_, '_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            let sched = &self.0.sched;
+            sched.panicked.store(true, Ordering::Release);
+            let mut g = sched.m.lock().unwrap_or_else(|e| e.into_inner());
+            g.shutdown = true;
+            g.remaining = 0;
+            drop(g);
+            sched.worker_cv.notify_all();
+            sched.main_cv.notify_all();
+        }
+    }
+}
+
+/// Deterministic per-worker perturbation stream (xorshift64): only used
+/// when a perturbation seed is set, to exercise steal orders and forced
+/// parks in tests. Never consulted in normal runs.
+struct Xorshift(u64);
+
+impl Xorshift {
+    fn new(seed: u64) -> Self {
+        Self(seed | 1)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+}
+
+impl Engine<'_> {
+    /// Worker main loop: claim, run, repeat until shutdown.
+    fn worker(&self, w: usize) {
+        let _guard = PanicGuard(self);
+        let mut rng = self.perturb.map(|seed| Xorshift::new(mix_seed(seed, w + 1)));
+        while let Some(s) = self.next_job(&mut rng) {
+            self.run_shard(s, w, &mut rng);
+        }
+    }
+
+    /// Blocks until a shard is claimable (bounded spin, then condvar) or
+    /// shutdown is flagged.
+    fn next_job(&self, rng: &mut Option<Xorshift>) -> Option<usize> {
+        let mut spins = 0;
+        while self.sched.ready_len.load(Ordering::Acquire) == 0 && spins < SPIN_LIMIT {
+            std::hint::spin_loop();
+            spins += 1;
+        }
+        let mut g = self.sched.m.lock().unwrap();
+        loop {
+            if g.shutdown {
+                return None;
+            }
+            if let Some(s) = self.take_ready(&mut g, rng) {
+                return Some(s);
+            }
+            self.worker_parks.fetch_add(1, Ordering::Relaxed);
+            g = self.sched.worker_cv.wait(g).unwrap();
+        }
+    }
+
+    /// Pops and claims the min-clock ready shard (under perturbation,
+    /// occasionally the max-clock one, to prove order doesn't matter).
+    /// Stale entries — shards whose state moved on since enqueue — are
+    /// discarded.
+    fn take_ready(&self, g: &mut SchedInner, rng: &mut Option<Xorshift>) -> Option<usize> {
+        loop {
+            if g.ready.is_empty() {
+                self.sched.ready_len.store(0, Ordering::Release);
+                return None;
+            }
+            let pick_max = rng.as_mut().is_some_and(|r| r.next() % 4 == 0);
+            let mut best = 0;
+            for i in 1..g.ready.len() {
+                let better = if pick_max {
+                    g.ready[i].0 > g.ready[best].0
+                } else {
+                    g.ready[i].0 < g.ready[best].0
+                };
+                if better {
+                    best = i;
+                }
+            }
+            let (_, s) = g.ready.swap_remove(best);
+            self.sched.ready_len.store(g.ready.len(), Ordering::Release);
+            let st = &self.sched.state[s];
+            match st.compare_exchange(S_QUEUED, S_RUNNING, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => return Some(s),
+                Err(S_QUEUED_SIGNALED) => {
+                    if st
+                        .compare_exchange(
+                            S_QUEUED_SIGNALED,
+                            S_RUNNING_SIGNALED,
+                            Ordering::AcqRel,
+                            Ordering::Relaxed,
+                        )
+                        .is_ok()
+                    {
+                        return Some(s);
+                    }
+                }
+                Err(_) => {}
+            }
+        }
+    }
+
+    /// Fresh lookahead bound for shard `s` from current predecessor
+    /// clocks (Acquire-paired with their Release publishes).
+    fn bound(&self, s: usize) -> Time {
+        let mut limit = Time::MAX;
+        for &b in &self.ingress[s] {
+            let src = self.clocks[self.boundaries[b].src_shard].load(Ordering::Acquire);
+            limit = limit.min(src.saturating_add(self.boundaries[b].lookahead));
+        }
+        limit
+    }
+
+    /// Marks shard `d` runnable, returning `true` if this enqueued it
+    /// (vs. only flagging an already-queued/running shard as signaled).
+    fn signal(&self, d: usize) -> bool {
+        let st = &self.sched.state[d];
+        let mut cur = st.load(Ordering::Relaxed);
+        loop {
+            let next = match cur {
+                S_IDLE => S_QUEUED,
+                S_QUEUED => S_QUEUED_SIGNALED,
+                S_RUNNING => S_RUNNING_SIGNALED,
+                _ => return false,
+            };
+            match st.compare_exchange_weak(cur, next, Ordering::AcqRel, Ordering::Relaxed) {
+                Ok(_) => {
+                    if cur == S_IDLE {
+                        let clock = self.clocks[d].load(Ordering::Relaxed);
+                        let mut g = self.sched.m.lock().unwrap();
+                        g.ready.push((clock, d));
+                        self.sched.ready_len.store(g.ready.len(), Ordering::Release);
+                        drop(g);
+                        self.sched.worker_cv.notify_one();
+                        return true;
+                    }
+                    return false;
+                }
+                Err(c) => cur = c,
+            }
+        }
+    }
+
+    /// Bumps `s`'s downstream version counters and re-queues any
+    /// downstream shard that is parked below the epoch target. The
+    /// version bump is ordered *before* the state CAS inside
+    /// [`Self::signal`], so whoever observes the signaled state also
+    /// observes a version that forces a fresh bound.
+    fn wake_successors(&self, s: usize, slot: &mut ShardSlot, target: Time) {
+        for &d in &self.successors[s] {
+            self.signal_version[d].fetch_add(1, Ordering::Release);
+            if self.clocks[d].load(Ordering::Relaxed) < target && self.signal(d) {
+                counter_inc!(slot.sim.shard_stats_mut().wakes);
+            }
+        }
+    }
+
+    /// Runs claimed shard `s` for as many windows as its lookahead
+    /// allows, then releases the claim: re-queue if still runnable, park
+    /// if lookahead-limited, report epoch completion if it crossed.
+    fn run_shard(&self, s: usize, worker: usize, rng: &mut Option<Xorshift>) {
+        let target = self.sched.target.load(Ordering::Acquire);
+        let mut slot = self.slots[s].lock().unwrap();
+        let slot = &mut *slot;
+        if slot.last_worker != worker {
+            if slot.last_worker != usize::MAX {
+                counter_inc!(slot.sim.shard_stats_mut().steals);
+            }
+            slot.last_worker = worker;
+        }
+        // If we claimed the shard already-signaled, the claim CAS is our
+        // happens-before edge to the publisher — recompute regardless of
+        // the version we read.
+        let mut force = self.sched.state[s].load(Ordering::Relaxed) == S_RUNNING_SIGNALED;
+        let mut crossed = false;
+        loop {
+            let clock = self.clocks[s].load(Ordering::Relaxed);
+            if clock >= target {
+                // Stale entry for a shard that already crossed; it was
+                // counted out of `remaining` when it crossed.
+                break;
+            }
+            let v = self.signal_version[s].load(Ordering::Acquire);
+            if force || v != slot.seen_version {
+                slot.cached_bound = self.bound(s);
+                slot.seen_version = v;
+                force = false;
+            }
+            let limit = target.min(slot.cached_bound);
+            if limit <= clock {
+                counter_inc!(slot.sim.shard_stats_mut().stalls);
+                break;
+            }
+            if let Some(r) = rng.as_mut() {
+                // Perturbation: pretend the scheduler preempted us here.
+                if r.next() % 8 == 0 {
+                    std::thread::yield_now();
+                }
+            }
+            self.window(s, slot, limit);
+            self.wake_successors(s, slot, target);
+            if limit >= target {
+                crossed = true;
+                break;
+            }
+            // Fairness: if other shards are waiting to run, release this
+            // one (it re-queues below) so claims keep following the
+            // min-clock order instead of one worker tunnelling ahead.
+            if self.sched.ready_len.load(Ordering::Relaxed) > 0 {
+                break;
+            }
+        }
+        // Release the claim. The swap is AcqRel: if a publisher flagged
+        // us signaled while we ran, we observe its clock store here.
+        let prev = self.sched.state[s].swap(S_IDLE, Ordering::AcqRel);
+        let clock = self.clocks[s].load(Ordering::Relaxed);
+        if clock < target {
+            if prev == S_RUNNING_SIGNALED {
+                slot.seen_version = self.signal_version[s].load(Ordering::Acquire);
+                slot.cached_bound = self.bound(s);
+            }
+            if target.min(slot.cached_bound) > clock {
+                // Still runnable: put it back (the CAS in `signal`
+                // dedupes against concurrent publishers).
+                self.signal(s);
+            } else {
+                // Parked: only an upstream signal re-queues it. Safe
+                // because any publisher that advances our bound runs
+                // `signal` *after* its version bump, and will find
+                // S_IDLE (or a later state) — never a lost wakeup.
+                counter_inc!(slot.sim.shard_stats_mut().parks);
+            }
+        }
+        if crossed {
+            let mut g = self.sched.m.lock().unwrap();
+            g.remaining -= 1;
+            let done = g.remaining == 0;
+            drop(g);
+            if done {
+                self.sched.main_cv.notify_all();
+            }
+        }
+    }
+
+    /// One lookahead window: drain ingress mailboxes (everything below
+    /// `limit` is present by flush-before-publish), execute, stage and
+    /// flush boundary output, publish the clock.
+    fn window(&self, s: usize, slot: &mut ShardSlot, limit: Time) {
+        let ShardSlot {
+            sim,
+            staging,
+            ingress_buf,
+            ..
+        } = slot;
+        sim.profiler().enter(Phase::Ingress);
+        for &b in &self.ingress[s] {
+            {
+                let mut ch = self.channels[b].lock().unwrap();
+                std::mem::swap(&mut *ch, ingress_buf);
+            }
+            counter_add!(sim.shard_stats_mut().ingress_msgs, ingress_buf.len() as u64);
+            for m in ingress_buf.drain(..) {
+                sim.inject_arrival(m);
+            }
+            // The swap hands this (now empty) buffer to the next
+            // channel, so bounding it here bounds the channels too.
+            if ingress_buf.capacity() > MAILBOX_KEEP {
+                ingress_buf.shrink_to(MAILBOX_KEEP);
+            }
+        }
+        sim.profiler().enter(Phase::Execute);
+        sim.run_window(limit);
+        // Flush boundary output *before* publishing the clock, so a
+        // neighbor that observes the new clock also observes every
+        // message it implies. Staged per boundary: one mailbox lock per
+        // boundary per window, not one per message.
+        sim.profiler().enter(Phase::Flush);
+        sim.flush_outbox(|m| {
+            let b = self.boundary_of_link[m.link.0 as usize] as usize;
+            staging[self.staging_pos[b] as usize].push(m);
+        });
+        for (pos, &b) in self.egress[s].iter().enumerate() {
+            let batch = &mut staging[pos];
+            if !batch.is_empty() {
+                self.channels[b].lock().unwrap().append(batch);
+                if batch.capacity() > MAILBOX_KEEP {
+                    batch.shrink_to(MAILBOX_KEEP);
+                }
+            }
+        }
+        self.clocks[s].store(limit, Ordering::Release);
+        sim.profiler().enter(Phase::Idle);
+        counter_inc!(sim.shard_stats_mut().windows);
+    }
+
+    /// Runs one epoch: every shard advances to the exclusive `target`.
+    /// Returns once all shards have crossed (or a worker panicked).
+    fn run_epoch(&self, target: Time) {
+        self.sched.target.store(target, Ordering::Release);
+        let pending: Vec<usize> = (0..self.slots.len())
+            .filter(|&i| self.clocks[i].load(Ordering::Relaxed) < target)
+            .collect();
+        if pending.is_empty() {
+            return;
+        }
+        self.sched.m.lock().unwrap().remaining = pending.len();
+        // Epoch-start enqueues go through the same `signal` path as
+        // wakes, so leftover queue entries from the previous epoch (a
+        // late cross-epoch signal can leave one) are never duplicated.
+        for &s in &pending {
+            self.signal(s);
+        }
+        if self.inline {
+            // Sole executor: drain the ready queue here. The queue cannot
+            // go empty while shards remain — the min-clock uncrossed
+            // shard's bound always exceeds its clock (positive lookahead,
+            // no predecessor behind it), so `run_shard` re-queues it
+            // rather than parking it.
+            let mut rng = None;
+            loop {
+                let job = {
+                    let mut g = self.sched.m.lock().unwrap();
+                    if g.remaining == 0 {
+                        return;
+                    }
+                    self.take_ready(&mut g, &mut rng)
+                };
+                let s = job.expect("ready queue empty with shards remaining");
+                self.run_shard(s, 0, &mut rng);
+            }
+        }
+        self.sched.worker_cv.notify_all();
+        let mut g = self.sched.m.lock().unwrap();
+        while g.remaining > 0 && !self.sched.panicked.load(Ordering::Relaxed) {
+            g = self.sched.main_cv.wait(g).unwrap();
+        }
+    }
+
+    /// Tells the pool to exit once the queue drains.
+    fn shutdown(&self) {
+        self.sched.m.lock().unwrap().shutdown = true;
+        self.sched.worker_cv.notify_all();
+    }
+}
+
+/// Read-only view of the shards between slices, for `run_slices` stop
+/// callbacks. Locks the shard's slot per call — workers are quiescent
+/// between epochs, so the lock is uncontended.
+pub struct ShardView<'a> {
+    slots: &'a [Mutex<ShardSlot>],
+}
+
+impl ShardView<'_> {
+    /// Calls `f` with the concrete agent at `id`, if it exists and has
+    /// that type (see [`Simulator::agent`]).
+    pub fn with_agent<T: Agent, R>(&self, id: ShardAgentId, f: impl FnOnce(&T) -> R) -> Option<R> {
+        let slot = self.slots[id.shard].lock().unwrap();
+        slot.sim.agent::<T>(id.agent).map(f)
+    }
+}
+
 /// A simulation partitioned into topology shards that execute in
 /// parallel under the conservative-lookahead protocol (module docs).
 ///
@@ -222,7 +764,7 @@ struct Boundary {
 /// shard. Boundary links are detected automatically and must have a
 /// strictly positive propagation delay.
 pub struct ShardedSim {
-    shards: Vec<Simulator>,
+    shards: Vec<ShardSlot>,
     /// Owning shard of each node, indexed by `NodeId`.
     owner: Vec<usize>,
     boundaries: Vec<Boundary>,
@@ -230,12 +772,25 @@ pub struct ShardedSim {
     boundary_of_link: Vec<u32>,
     /// Inbound boundary indices per shard.
     ingress: Vec<Vec<usize>>,
+    /// Outbound boundary indices per shard (staging order).
+    egress: Vec<Vec<usize>>,
+    /// Position of each boundary in its source shard's egress list.
+    staging_pos: Vec<u32>,
+    /// Distinct downstream shards per shard (wake targets).
+    successors: Vec<Vec<usize>>,
     /// Exclusive per-shard clocks (see module docs); persist across
     /// successive `run_until` calls.
     clocks: Vec<AtomicU64>,
+    /// Bumped whenever a predecessor of the shard publishes a clock;
+    /// lets claimers skip bound recomputation when nothing advanced.
+    signal_version: Vec<AtomicU64>,
     /// One mailbox per boundary link (single producer, single consumer;
     /// the mutex only arbitrates flush vs. drain).
     channels: Vec<Mutex<Vec<WireMsg>>>,
+    /// Pool-level condvar blocks (see [`SchedTotals::worker_parks`]).
+    worker_parks: AtomicU64,
+    /// Scheduling-perturbation seed for determinism tests.
+    perturb: Option<u64>,
     threads: usize,
     now: Time,
     seed: u64,
@@ -252,8 +807,14 @@ impl ShardedSim {
             boundaries: Vec::new(),
             boundary_of_link: Vec::new(),
             ingress: Vec::new(),
+            egress: Vec::new(),
+            staging_pos: Vec::new(),
+            successors: Vec::new(),
             clocks: Vec::new(),
+            signal_version: Vec::new(),
             channels: Vec::new(),
+            worker_parks: AtomicU64::new(0),
+            perturb: None,
             threads: 1,
             now: 0,
             seed,
@@ -271,9 +832,19 @@ impl ShardedSim {
         let idx = self.shards.len();
         let mut sim = Simulator::new(mix_seed(self.seed, idx));
         sim.set_packet_id_base((idx as u64) << 48);
-        self.shards.push(sim);
+        self.shards.push(ShardSlot {
+            sim,
+            cached_bound: 0,
+            seen_version: u64::MAX,
+            last_worker: usize::MAX,
+            staging: Vec::new(),
+            ingress_buf: Vec::new(),
+        });
         self.ingress.push(Vec::new());
+        self.egress.push(Vec::new());
+        self.successors.push(Vec::new());
         self.clocks.push(AtomicU64::new(0));
+        self.signal_version.push(AtomicU64::new(0));
         idx
     }
 
@@ -282,10 +853,26 @@ impl ShardedSim {
         self.shards.len()
     }
 
-    /// Sets how many OS threads execute the shards (default 1). The
-    /// value never affects results, only wall-clock time.
+    /// Sets the requested worker-pool size (default 1). The pool that
+    /// actually runs is capped at the shard count and — because extra
+    /// workers on a saturated host only time-slice the same cores and
+    /// thrash the shards' working sets against each other — at the
+    /// host's available parallelism. The value never affects results,
+    /// only wall-clock time.
     pub fn set_threads(&mut self, threads: usize) {
         self.threads = threads.max(1);
+    }
+
+    /// Sets (or clears) a scheduling-perturbation seed. When set,
+    /// workers deterministically shuffle claim order and inject fake
+    /// preemptions — a determinism-test aid that exercises steal orders
+    /// and parks the normal schedule would rarely produce — and the
+    /// worker pool is deliberately *not* capped at the core count, so
+    /// oversubscribed schedules get exercised even on small hosts.
+    /// Results must be byte-identical either way; only engine-plane
+    /// stats move.
+    pub fn set_perturbation(&mut self, seed: Option<u64>) {
+        self.perturb = seed;
     }
 
     /// Adds a node owned by `shard`. The node id is global: it is
@@ -294,8 +881,8 @@ impl ShardedSim {
     pub fn add_node(&mut self, shard: usize) -> NodeId {
         assert!(shard < self.shards.len(), "no such shard {shard}");
         let mut id = None;
-        for sim in &mut self.shards {
-            let nid = sim.add_node();
+        for slot in &mut self.shards {
+            let nid = slot.sim.add_node();
             debug_assert!(id.is_none() || id == Some(nid));
             id = Some(nid);
         }
@@ -317,17 +904,23 @@ impl ShardedSim {
             );
         }
         let mut id = None;
-        for sim in &mut self.shards {
-            let lid = sim.add_link(from, to, spec.clone());
+        for slot in &mut self.shards {
+            let lid = slot.sim.add_link(from, to, spec.clone());
             debug_assert!(id.is_none() || id == Some(lid));
             id = Some(lid);
         }
         let id = id.expect("add_shard must be called before add_link");
         debug_assert_eq!(self.boundary_of_link.len(), id.0 as usize);
         if src != dst {
-            self.shards[src].mark_egress(id);
-            self.boundary_of_link.push(self.boundaries.len() as u32);
-            self.ingress[dst].push(self.boundaries.len());
+            self.shards[src].sim.mark_egress(id);
+            let b = self.boundaries.len();
+            self.boundary_of_link.push(b as u32);
+            self.ingress[dst].push(b);
+            self.staging_pos.push(self.egress[src].len() as u32);
+            self.egress[src].push(b);
+            if !self.successors[src].contains(&dst) {
+                self.successors[src].push(dst);
+            }
             self.boundaries.push(Boundary {
                 src_shard: src,
                 lookahead: spec.delay,
@@ -349,7 +942,7 @@ impl ShardedSim {
     /// Registers an agent at `(node, port)` on the node's owning shard.
     pub fn add_agent(&mut self, node: NodeId, port: u16, agent: Box<dyn Agent>) -> ShardAgentId {
         let shard = self.owner[node.0 as usize];
-        let agent = self.shards[shard].add_agent(node, port, agent);
+        let agent = self.shards[shard].sim.add_agent(node, port, agent);
         ShardAgentId { shard, agent }
     }
 
@@ -358,7 +951,7 @@ impl ShardedSim {
     /// lock-free across threads; merge the buses in shard-index order
     /// for a deterministic combined stream.
     pub fn attach_telemetry(&mut self, shard: usize, sink: iq_telemetry::TelemetrySink) {
-        self.shards[shard].attach_telemetry(sink);
+        self.shards[shard].sim.attach_telemetry(sink);
     }
 
     /// Current simulation time (the last `run_until` deadline reached).
@@ -368,24 +961,24 @@ impl ShardedSim {
 
     /// Read access to one shard's serial simulator (post-run inspection).
     pub fn shard(&self, idx: usize) -> &Simulator {
-        &self.shards[idx]
+        &self.shards[idx].sim
     }
 
     /// Immutable access to a concrete agent type (see [`Simulator::agent`]).
     pub fn agent<T: Agent>(&self, id: ShardAgentId) -> Option<&T> {
-        self.shards[id.shard].agent(id.agent)
+        self.shards[id.shard].sim.agent(id.agent)
     }
 
     /// Mutable access to a concrete agent type.
     pub fn agent_mut<T: Agent>(&mut self, id: ShardAgentId) -> Option<&mut T> {
-        self.shards[id.shard].agent_mut(id.agent)
+        self.shards[id.shard].sim.agent_mut(id.agent)
     }
 
     /// Simulation-wide counters, summed over shards in index order.
     pub fn counters(&self) -> SimCounters {
         let mut total = SimCounters::default();
         for s in &self.shards {
-            let c = s.counters();
+            let c = s.sim.counters();
             total.packets_sent += c.packets_sent;
             total.packets_delivered += c.packets_delivered;
             total.packets_unroutable += c.packets_unroutable;
@@ -399,17 +992,37 @@ impl ShardedSim {
     /// Reports every shard's metrics into `reg` in shard-index order
     /// (labels `shard="0"`, `shard="1"`, …). The resulting sim-plane
     /// text is byte-identical for any `threads` value because the shard
-    /// partition — not the thread mapping — determines each shard's
-    /// executed event set.
+    /// partition — not the schedule — determines each shard's executed
+    /// event set. Engine-plane scheduler totals ride along unlabelled.
     pub fn collect_obs(&self, reg: &mut iq_obs::Registry) {
         for (i, s) in self.shards.iter().enumerate() {
-            s.collect_obs(reg, &i.to_string());
+            s.sim.collect_obs(reg, &i.to_string());
         }
+        reg.counter(
+            iq_obs::Plane::Engine,
+            "iq_shard_worker_parks_total",
+            &[],
+            self.worker_parks.load(Ordering::Relaxed),
+        );
     }
 
     /// Per-shard wall-clock phase breakdowns, in shard-index order.
     pub fn phase_snapshots(&self) -> Vec<iq_obs::PhaseSnapshot> {
-        self.shards.iter().map(|s| s.phase_snapshot()).collect()
+        self.shards.iter().map(|s| s.sim.phase_snapshot()).collect()
+    }
+
+    /// Scheduler totals summed over shards, plus the pool-level park
+    /// count. Engine-plane: schedule-dependent, never fingerprinted.
+    pub fn sched_totals(&self) -> SchedTotals {
+        let mut t = SchedTotals::default();
+        for s in &self.shards {
+            let st = s.sim.shard_stats();
+            t.steals += st.steals;
+            t.parks += st.parks;
+            t.wakes += st.wakes;
+        }
+        t.worker_parks = self.worker_parks.load(Ordering::Relaxed);
+        t
     }
 
     /// Ground-truth counters for one flow, summed over shards (a flow's
@@ -418,7 +1031,7 @@ impl ShardedSim {
     pub fn flow_stats(&self, flow: FlowId) -> FlowStats {
         let mut total = FlowStats::default();
         for s in &self.shards {
-            let f = s.flow_stats(flow);
+            let f = s.sim.flow_stats(flow);
             total.sent_packets += f.sent_packets;
             total.sent_bytes += f.sent_bytes;
             total.delivered_packets += f.delivered_packets;
@@ -432,126 +1045,108 @@ impl ShardedSim {
     /// Stats for one link, read from the shard that owns its sending
     /// side (queueing, serialization, and loss all happen there).
     pub fn link_stats(&self, id: LinkId) -> LinkStats {
-        let from = self.shards[0].link_from(id);
-        self.shards[self.owner[from.0 as usize]].link_stats(id)
+        let from = self.shards[0].sim.link_from(id);
+        self.shards[self.owner[from.0 as usize]].sim.link_stats(id)
     }
 
     /// Runs every shard up to and including `deadline` under the
     /// conservative-lookahead protocol, then returns the new time.
-    /// Callable repeatedly with increasing deadlines (the usual
-    /// slice-and-poll pattern).
+    /// Callable repeatedly with increasing deadlines.
     pub fn run_until(&mut self, deadline: Time) -> Time {
+        self.run_slices(deadline, Time::MAX, |_| false)
+    }
+
+    /// Runs to `deadline` in epochs of `slice` simulated time on one
+    /// persistent worker pool, calling `stop` between epochs; a `true`
+    /// return ends the run early. This replaces the serial
+    /// slice-and-poll pattern (`run_for(slice)` in a loop), which paid
+    /// thread spawn/join per slice — here the pool spans all slices and
+    /// only the cheap epoch rendezvous separates them.
+    pub fn run_slices(
+        &mut self,
+        deadline: Time,
+        slice: TimeDelta,
+        mut stop: impl FnMut(&ShardView<'_>) -> bool,
+    ) -> Time {
         assert!(!self.shards.is_empty(), "no shards declared");
-        let target = deadline
+        deadline
             .checked_add(1)
             .expect("deadline too close to Time::MAX");
+        // Pool sizing: never more workers than shards, and — unless a
+        // perturbation seed asks for adversarial oversubscription —
+        // never more workers than the host has cores. `--shards 8` on a
+        // 1-core box must cost nothing over `--shards 1`: the surplus
+        // workers would only time-slice the same core and evict each
+        // other's shard working sets. The schedule never affects
+        // results, so the cap is invisible outside wall-clock time.
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
         let threads = self.threads.clamp(1, self.shards.len());
-
-        let clocks = &self.clocks;
-        let channels = &self.channels;
-        let ingress = &self.ingress;
-        let boundaries = &self.boundaries;
-        let boundary_of_link = &self.boundary_of_link;
-
-        // Fixed shard-to-thread assignment (see [`static_assignment`]).
-        // The partition is what determines results; this mapping only
-        // balances work.
-        let assignment = static_assignment(self.shards.len(), threads);
-        let mut groups: Vec<Vec<(usize, &mut Simulator)>> =
-            (0..threads).map(|_| Vec::new()).collect();
-        for (i, sim) in self.shards.iter_mut().enumerate() {
-            groups[assignment[i]].push((i, sim));
+        let threads = if self.perturb.is_some() {
+            threads
+        } else {
+            threads.min(cores)
+        };
+        let slice = slice.max(1);
+        for (i, slot) in self.shards.iter_mut().enumerate() {
+            slot.staging.resize_with(self.egress[i].len(), Vec::new);
+            // Start every shard's wall clock in the idle phase so
+            // lookahead-limited time before the first window is
+            // attributed, not lost.
+            slot.sim.profiler().enter(Phase::Idle);
         }
-
+        // Move the shards into lockable slots for the pool's lifetime;
+        // they are restored (in index order) before returning, so every
+        // `&self` accessor keeps working between calls.
+        let slots: Vec<Mutex<ShardSlot>> = self.shards.drain(..).map(Mutex::new).collect();
+        let engine = Engine {
+            slots: &slots,
+            clocks: &self.clocks,
+            signal_version: &self.signal_version,
+            boundaries: &self.boundaries,
+            boundary_of_link: &self.boundary_of_link,
+            ingress: &self.ingress,
+            egress: &self.egress,
+            staging_pos: &self.staging_pos,
+            successors: &self.successors,
+            channels: &self.channels,
+            worker_parks: &self.worker_parks,
+            perturb: self.perturb,
+            // One effective worker means the pool would only trade futex
+            // round trips with this thread; run the epochs inline instead.
+            // (Perturbation keeps the pool so cross-thread schedules stay
+            // exercised.)
+            inline: threads == 1 && self.perturb.is_none(),
+            sched: Sched::new(slots.len()),
+        };
+        let mut now = self.now;
         std::thread::scope(|scope| {
-            let handles: Vec<_> = groups
-                .into_iter()
-                .map(|mut group| {
-                    scope.spawn(move || {
-                        // Start every shard's wall clock in the idle
-                        // phase so lookahead-limited time before the
-                        // first window is attributed, not lost.
-                        for (_, sim) in &mut group {
-                            sim.profiler().enter(Phase::Idle);
-                        }
-                        loop {
-                            let mut all_done = true;
-                            let mut progressed = false;
-                            for (i, sim) in &mut group {
-                                let i = *i;
-                                // Only this thread stores clocks[i].
-                                let clock = clocks[i].load(Ordering::Relaxed);
-                                if clock >= target {
-                                    continue;
-                                }
-                                all_done = false;
-                                let mut limit = target;
-                                for &b in &ingress[i] {
-                                    let src = clocks[boundaries[b].src_shard]
-                                        .load(Ordering::Acquire);
-                                    limit =
-                                        limit.min(src.saturating_add(boundaries[b].lookahead));
-                                }
-                                if limit <= clock {
-                                    // Lookahead-limited: a neighbor's
-                                    // clock is too far behind. Time keeps
-                                    // accruing to the idle phase.
-                                    counter_inc!(sim.shard_stats_mut().stalls);
-                                    continue;
-                                }
-                                // Drain mailboxes first: everything below
-                                // `limit` is guaranteed to be present by
-                                // the neighbors' flush-before-publish.
-                                sim.profiler().enter(Phase::Ingress);
-                                for &b in &ingress[i] {
-                                    let msgs =
-                                        std::mem::take(&mut *channels[b].lock().unwrap());
-                                    counter_add!(
-                                        sim.shard_stats_mut().ingress_msgs,
-                                        msgs.len() as u64
-                                    );
-                                    for m in msgs {
-                                        sim.inject_arrival(m);
-                                    }
-                                }
-                                sim.profiler().enter(Phase::Execute);
-                                sim.run_window(limit);
-                                // Flush boundary output *before*
-                                // publishing the clock, so a neighbor
-                                // that observes the new clock also
-                                // observes every message it implies.
-                                sim.profiler().enter(Phase::Flush);
-                                sim.flush_outbox(|m| {
-                                    let b = boundary_of_link[m.link.0 as usize] as usize;
-                                    channels[b].lock().unwrap().push(m);
-                                });
-                                clocks[i].store(limit, Ordering::Release);
-                                sim.profiler().enter(Phase::Idle);
-                                counter_inc!(sim.shard_stats_mut().windows);
-                                progressed = true;
-                            }
-                            if all_done {
-                                break;
-                            }
-                            if !progressed {
-                                std::thread::yield_now();
-                            }
-                        }
-                        // Close each profiler so the idle tail between
-                        // a shard finishing and the slowest shard
-                        // finishing is attributed.
-                        for (_, sim) in &mut group {
-                            sim.profiler().finish();
-                        }
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().expect("shard worker panicked");
+            if !engine.inline {
+                for w in 0..threads {
+                    let engine = &engine;
+                    scope.spawn(move || engine.worker(w));
+                }
             }
+            loop {
+                let slice_end = now.saturating_add(slice).min(deadline);
+                engine.run_epoch(slice_end + 1);
+                now = slice_end;
+                if engine.sched.panicked.load(Ordering::Relaxed) || now >= deadline {
+                    break;
+                }
+                if stop(&ShardView { slots: &slots }) {
+                    break;
+                }
+            }
+            engine.shutdown();
         });
-
-        self.now = self.now.max(deadline);
+        for slot in slots {
+            let mut slot = slot.into_inner().expect("shard slot poisoned");
+            // Close the profiler so the idle tail between a shard
+            // finishing and the slowest shard finishing is attributed.
+            slot.sim.profiler().finish();
+            self.shards.push(slot);
+        }
+        self.now = self.now.max(now);
         self.now
     }
 
@@ -566,22 +1161,6 @@ impl ShardedSim {
 /// shard streams are decorrelated but fully determined by (seed, index).
 fn mix_seed(seed: u64, shard: usize) -> u64 {
     seed ^ 0x9E37_79B9_7F4A_7C15u64.wrapping_mul(shard as u64 + 1)
-}
-
-/// Static shard→thread assignment: pair-blocked round robin, shard `i`
-/// runs on thread `(i / 2) % threads`.
-///
-/// Paired topologies (the mega-flow dumbbell legs) declare shards in
-/// left/right order, so even indices carry the sender-side work — with
-/// plain `i % threads` at `threads = 2` every heavy even shard landed on
-/// worker 0 and every light odd shard on worker 1 (a ~6× execute-time
-/// imbalance in the committed bench profile). Assigning *pairs* round
-/// robin keeps each leg's heavy and light halves together, so every
-/// worker receives the same even/odd mix for any thread count. The
-/// mapping never affects results, only wall-clock balance.
-pub(crate) fn static_assignment(shards: usize, threads: usize) -> Vec<usize> {
-    let threads = threads.max(1);
-    (0..shards).map(|i| (i / 2) % threads).collect()
 }
 
 #[cfg(test)]
@@ -631,10 +1210,11 @@ mod tests {
 
     /// Two shards joined by one duplex boundary link, echo traffic both
     /// ways. Returns the pinger's echo log and the global counters.
-    fn echo_run(threads: usize) -> (Vec<(Time, u32)>, SimCounters) {
+    fn echo_run(threads: usize, perturb: Option<u64>) -> (Vec<(Time, u32)>, SimCounters) {
         let mut sim = ShardedSim::new(7);
         let (s0, s1) = (sim.add_shard(), sim.add_shard());
         sim.set_threads(threads);
+        sim.set_perturbation(perturb);
         let a = sim.add_node(s0);
         let b = sim.add_node(s1);
         sim.add_duplex_link(a, b, LinkSpec::new(10e6, millis(5), 64_000));
@@ -652,7 +1232,7 @@ mod tests {
 
     #[test]
     fn echoes_cross_the_boundary_both_ways() {
-        let (log, counters) = echo_run(1);
+        let (log, counters) = echo_run(1, None);
         assert_eq!(log.len(), 50, "every ping must be echoed back");
         assert_eq!(counters.packets_sent, 100);
         assert_eq!(counters.packets_delivered, 100);
@@ -664,14 +1244,27 @@ mod tests {
 
     #[test]
     fn results_are_identical_for_any_thread_count() {
-        let base = echo_run(1);
+        let base = echo_run(1, None);
         for threads in [2, 3, 8] {
-            let got = echo_run(threads);
+            let got = echo_run(threads, None);
             assert_eq!(got.0, base.0, "echo log differs at {threads} threads");
             assert_eq!(
                 got.1.events_processed, base.1.events_processed,
                 "event count differs at {threads} threads"
             );
+        }
+    }
+
+    #[test]
+    fn results_are_identical_under_scheduling_perturbation() {
+        let base = echo_run(1, None);
+        for (threads, seed) in [(1, 11), (2, 12), (4, 13)] {
+            let got = echo_run(threads, Some(seed));
+            assert_eq!(
+                got.0, base.0,
+                "echo log differs at {threads} threads, perturbation {seed}"
+            );
+            assert_eq!(got.1.events_processed, base.1.events_processed);
         }
     }
 
@@ -721,35 +1314,39 @@ mod tests {
     }
 
     #[test]
-    fn static_assignment_mixes_parities_on_every_thread() {
-        // 8 dumbbell legs declared left/right: evens are the heavy
-        // sender side. Every worker must receive the same number of
-        // even and odd shards, for any thread count that divides the
-        // pair count.
-        for threads in [1usize, 2, 4, 8] {
-            let a = static_assignment(16, threads);
-            for t in 0..threads {
-                let evens = (0..16).filter(|&i| a[i] == t && i % 2 == 0).count();
-                let odds = (0..16).filter(|&i| a[i] == t && i % 2 == 1).count();
-                assert_eq!(
-                    evens, odds,
-                    "thread {t} of {threads}: {evens} even vs {odds} odd shards"
-                );
-                assert_eq!(evens + odds, 16 / threads);
-            }
-        }
-        // Ragged cases still cover every thread and every shard.
-        let a = static_assignment(5, 2);
-        assert_eq!(a, vec![0, 0, 1, 1, 0]);
-    }
-
-    #[test]
     fn boundary_seqs_sort_after_local_seqs_and_by_content() {
         let a = boundary_seq(LinkId(3), 0);
         let b = boundary_seq(LinkId(3), 1);
         let c = boundary_seq(LinkId(4), 0);
         assert!(a < b && b < c, "ordered by (link, counter)");
         assert!(a > u64::MAX / 2, "always above realistic local seqs");
+    }
+
+    #[test]
+    fn run_slices_stop_callback_sees_agents_and_ends_early() {
+        let mut sim = ShardedSim::new(21);
+        let (s0, s1) = (sim.add_shard(), sim.add_shard());
+        sim.set_threads(2);
+        let a = sim.add_node(s0);
+        let b = sim.add_node(s1);
+        sim.add_duplex_link(a, b, LinkSpec::new(10e6, millis(5), 64_000));
+        let ping = sim.add_agent(a, 1, Box::new(Pinger {
+            dst: Addr::new(b, 2),
+            count: 5,
+            sent: 0,
+            echoes: Vec::new(),
+        }));
+        sim.add_agent(b, 2, Box::new(Echoer::default()));
+        let end = sim.run_slices(secs(60.0), millis(100), |view| {
+            view.with_agent::<Pinger, _>(ping, |p| p.echoes.len() >= 5)
+                .unwrap()
+        });
+        assert_eq!(sim.agent::<Pinger>(ping).unwrap().echoes.len(), 5);
+        assert!(
+            end < secs(1.0),
+            "five 1ms-spaced pings echo within the first few 100ms slices"
+        );
+        assert_eq!(end, sim.now());
     }
 
     #[test]

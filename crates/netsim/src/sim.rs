@@ -422,6 +422,11 @@ impl Simulator {
         &mut self.core.shard_stats
     }
 
+    /// Shard-loop counter snapshot (engine plane).
+    pub(crate) fn shard_stats(&self) -> crate::shard::ShardStats {
+        self.core.shard_stats
+    }
+
     /// Reports this simulator's metrics into `reg`, labelled with
     /// `shard`. Sim-plane counters and the delivery-latency histogram
     /// are deterministic; scheduler placement stats, occupancy gauges,
@@ -512,6 +517,9 @@ impl Simulator {
             &l,
             sh.ingress_msgs,
         );
+        reg.counter(Plane::Engine, "iq_shard_steals_total", &l, sh.steals);
+        reg.counter(Plane::Engine, "iq_shard_parks_total", &l, sh.parks);
+        reg.counter(Plane::Engine, "iq_shard_wakes_total", &l, sh.wakes);
         let phases = self.core.profiler.snapshot();
         for (i, name) in iq_obs::profile::PHASE_NAMES.iter().enumerate() {
             reg.gauge(

@@ -70,7 +70,7 @@ type Observed = (Vec<Vec<(Time, u32)>>, Vec<u64>, String);
 /// right shard joined by one duplex boundary bottleneck — runs the echo
 /// workload with `threads` OS threads, and returns every observable
 /// surface as one comparable bundle.
-fn run(p: &Params, threads: usize) -> Observed {
+fn run(p: &Params, threads: usize, perturb: Option<u64>) -> Observed {
     let mut sim = ShardedSim::new(p.seed);
     let mut legs = Vec::new();
     for _ in 0..p.legs {
@@ -79,6 +79,7 @@ fn run(p: &Params, threads: usize) -> Observed {
         legs.push((left, right));
     }
     sim.set_threads(threads);
+    sim.set_perturbation(perturb);
 
     let mut telemetry = Vec::new();
     for shard in 0..sim.num_shards() {
@@ -170,14 +171,49 @@ proptest! {
         jitter_us in 0u64..3,
     ) {
         let p = Params { seed, legs, pairs_per_leg, pings, delay_ms, loss_pct, jitter_us };
-        let base = run(&p, 1);
+        let base = run(&p, 1, None);
         for threads in [2, 4] {
-            let got = run(&p, threads);
+            let got = run(&p, threads, None);
             assert_eq!(got.0, base.0, "echo logs differ at {threads} threads ({p:?})");
             assert_eq!(got.1, base.1, "counters differ at {threads} threads ({p:?})");
             assert_eq!(got.2, base.2, "telemetry differs at {threads} threads ({p:?})");
         }
         // Sanity: the workload actually crossed shards.
+        assert!(base.1[1] > 0, "nothing was delivered ({p:?})");
+    }
+
+    /// Same byte-equality bar, but against an adversarial scheduler:
+    /// random worker counts *and* injected scheduling perturbations
+    /// (shuffled claim order, forced preemptions — see
+    /// `ShardedSim::set_perturbation`), so steal orders and parks the
+    /// normal schedule would rarely produce still change nothing.
+    #[test]
+    fn outputs_survive_scheduling_perturbations(
+        seed in proptest::any::<u64>(),
+        legs in 1usize..3,
+        pairs_per_leg in 1usize..4,
+        pings in 5u32..40,
+        delay_ms in 1u64..20,
+        loss_pct in 0u64..10,
+        jitter_us in 0u64..3,
+        threads in 1usize..6,
+        perturb_seed in proptest::any::<u64>(),
+    ) {
+        let p = Params { seed, legs, pairs_per_leg, pings, delay_ms, loss_pct, jitter_us };
+        let base = run(&p, 1, None);
+        let got = run(&p, threads, Some(perturb_seed));
+        assert_eq!(
+            got.0, base.0,
+            "echo logs differ at {threads} threads, perturbation {perturb_seed} ({p:?})"
+        );
+        assert_eq!(
+            got.1, base.1,
+            "counters differ at {threads} threads, perturbation {perturb_seed} ({p:?})"
+        );
+        assert_eq!(
+            got.2, base.2,
+            "telemetry differs at {threads} threads, perturbation {perturb_seed} ({p:?})"
+        );
         assert!(base.1[1] > 0, "nothing was delivered ({p:?})");
     }
 }

@@ -19,6 +19,7 @@ use iq_experiments::tables::{
 };
 
 fn main() {
+    iq_experiments::tune_allocator();
     // Runner flags (`-j N`/`--jobs N`, `--verify-determinism`,
     // `--timing`) are stripped before positional parsing, so
     // `paper_tables -- -j 4 1.0 t3` works. Output on stdout is

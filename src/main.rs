@@ -528,6 +528,7 @@ fn apply_runner_flags(args: Vec<String>) -> Vec<String> {
 }
 
 fn main() {
+    iq_experiments::tune_allocator();
     let args = apply_runner_flags(std::env::args().skip(1).collect());
     match args.first().map(|s| s.as_str()) {
         Some("tables") => cmd_tables(&args[1..]),
